@@ -1,0 +1,48 @@
+"""Shared machinery for the reproduction benches.
+
+Every bench runs one registered experiment under ``pytest-benchmark``,
+prints its paper-vs-measured table, writes the table to
+``benchmarks/results/<id>.txt``, and asserts that every comparison row
+matched.  Run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_TRIALS`` to trade Monte-Carlo precision against runtime.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.tables import paper_vs_measured
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record():
+    """Print, persist, and assert one experiment's comparison table."""
+
+    def _record(result: ExperimentResult) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = paper_vs_measured(
+            result.rows,
+            title=f"{result.experiment_id} — {result.paper_ref}",
+        )
+        if result.notes:
+            text += f"\n\nNotes: {result.notes}"
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        failing = [row for row in result.rows if not row[3]]
+        assert result.all_match, f"mismatched rows: {failing}"
+
+    return _record
+
+
+def run_once(benchmark, function):
+    """Benchmark a heavy experiment with a single measured round."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

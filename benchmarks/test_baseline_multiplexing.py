@@ -1,0 +1,9 @@
+"""Bench: the irreversible NAND-multiplexing baseline comparison."""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_baseline_multiplexing(benchmark, record):
+    result = run_once(benchmark, lambda: run_experiment("baseline"))
+    record(result)

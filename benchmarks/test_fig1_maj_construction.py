@@ -1,0 +1,8 @@
+"""Bench: Figure 1 — MAJ from two CNOTs and a Toffoli."""
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig1_maj_construction(benchmark, record):
+    result = benchmark(lambda: run_experiment("fig1"))
+    record(result)

@@ -1,0 +1,13 @@
+"""Bench: Figure 2 — the nine-bit error-recovery circuit.
+
+Exhaustive single-fault tolerance plus the Monte-Carlo g^2 scaling of
+the logical error rate.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig2_error_recovery(benchmark, record):
+    result = run_once(benchmark, lambda: run_experiment("fig2"))
+    record(result)

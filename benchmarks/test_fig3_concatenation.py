@@ -1,0 +1,9 @@
+"""Bench: Figure 3 — concatenated gates: census and error suppression."""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig3_concatenation(benchmark, record):
+    result = run_once(benchmark, lambda: run_experiment("fig3"))
+    record(result)

@@ -1,0 +1,8 @@
+"""Bench: Figure 4 — the 2D tile layout and interleave costs."""
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig4_2d_layout(benchmark, record):
+    result = benchmark(lambda: run_experiment("fig4"))
+    record(result)

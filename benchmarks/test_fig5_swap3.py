@@ -1,0 +1,8 @@
+"""Bench: Figure 5 — SWAP3 as two SWAPs on three adjacent bits."""
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig5_swap3(benchmark, record):
+    result = benchmark(lambda: run_experiment("fig5"))
+    record(result)

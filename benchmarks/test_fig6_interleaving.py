@@ -1,0 +1,8 @@
+"""Bench: Figure 6 — interleaving linearly adjacent codewords."""
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig6_interleaving(benchmark, record):
+    result = benchmark(lambda: run_experiment("fig6"))
+    record(result)

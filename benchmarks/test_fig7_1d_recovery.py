@@ -1,0 +1,9 @@
+"""Bench: Figure 7 — the fully 1D local recovery circuit."""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig7_1d_recovery(benchmark, record):
+    result = run_once(benchmark, lambda: run_experiment("fig7"))
+    record(result)

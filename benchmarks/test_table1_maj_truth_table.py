@@ -1,0 +1,8 @@
+"""Bench: Table 1 — the reversible MAJ truth table."""
+
+from repro.harness.experiments import run_experiment
+
+
+def test_table1_maj_truth_table(benchmark, record):
+    result = benchmark(lambda: run_experiment("table1"))
+    record(result)

@@ -1,0 +1,8 @@
+"""Bench: Table 2 — mixed 2D/1D concatenation thresholds."""
+
+from repro.harness.experiments import run_experiment
+
+
+def test_table2_mixed_concatenation(benchmark, record):
+    result = benchmark(lambda: run_experiment("table2"))
+    record(result)

@@ -1,0 +1,8 @@
+"""Bench: Section 2.3 — overhead example and poly-log exponents."""
+
+from repro.harness.experiments import run_experiment
+
+
+def test_text_blowup(benchmark, record):
+    result = benchmark(lambda: run_experiment("blowup"))
+    record(result)

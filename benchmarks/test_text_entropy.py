@@ -1,0 +1,9 @@
+"""Bench: Section 4 — entropy bounds and measured ancilla entropy."""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_text_entropy(benchmark, record):
+    result = run_once(benchmark, lambda: run_experiment("entropy"))
+    record(result)

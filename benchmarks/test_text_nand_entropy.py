@@ -1,0 +1,9 @@
+"""Bench: Section 4, footnote 4 — the 3/2-bit NAND optimum."""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_text_nand_entropy(benchmark, record):
+    result = run_once(benchmark, lambda: run_experiment("nand-cost"))
+    record(result)

@@ -1,0 +1,8 @@
+"""Bench: Sections 2.2/3.1/3.2 — all six reported thresholds."""
+
+from repro.harness.experiments import run_experiment
+
+
+def test_text_thresholds(benchmark, record):
+    result = benchmark(lambda: run_experiment("thresholds"))
+    record(result)

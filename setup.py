@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The normal install path is ``pip install -e .``; this shim exists so
+that ``python setup.py develop`` also works on offline machines whose
+setuptools predates the bundled ``bdist_wheel`` (editable PEP-660
+installs need the ``wheel`` package there).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""Entropy dissipation bounds (Section 4).
+
+A failed gate outputs one of 8 patterns uniformly, so its output
+differs from the correct pattern with probability ``7g/8``; one noisy
+gate therefore generates at most
+
+    H(7g/8) + (7g/8) log2(7)  <=  kappa * sqrt(g),
+    kappa = 2 sqrt(7/8) + (7/8) log2(7) ~ 4.327
+
+bits of entropy.  Per level-``L`` gate the paper sandwiches the
+dissipated entropy as
+
+    g (3E)^(L-1)  <=  H_L  <=  G_tilde^L kappa sqrt(g)
+
+and O(1) entropy per gate forces ``L <= log(1/g)/log(3E) + 1``.
+Landauer's principle converts entropy to heat: ``dE >= k_B T ln2`` per
+bit erased.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from math import log, log2, sqrt
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Boltzmann's constant in joules per kelvin.
+BOLTZMANN_J_PER_K = 1.380649e-23
+
+#: The paper's kappa constant: 2 sqrt(7/8) + (7/8) log2 7.
+KAPPA = 2.0 * sqrt(7.0 / 8.0) + (7.0 / 8.0) * log2(7.0)
+
+
+def binary_entropy(p: float) -> float:
+    """The binary entropy function H(p) in bits."""
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"probability must be in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * log2(p) - (1.0 - p) * log2(1.0 - p)
+
+
+def single_gate_entropy(gate_error: float) -> float:
+    """Entropy of one noisy 3-bit gate: ``H(7g/8) + (7g/8) log2 7``."""
+    _check_rate(gate_error)
+    q = 7.0 * gate_error / 8.0
+    return binary_entropy(q) + q * log2(7.0)
+
+
+def single_gate_entropy_sqrt_bound(gate_error: float) -> float:
+    """The paper's relaxation ``kappa * sqrt(g)``, an upper bound."""
+    _check_rate(gate_error)
+    return KAPPA * sqrt(gate_error)
+
+
+def entropy_upper_bound(
+    gate_error: float, gates_per_level: float, level: int
+) -> float:
+    """``H_L <= G_tilde**L * kappa * sqrt(g)`` (Section 4).
+
+    ``gates_per_level`` is the paper's G-tilde: how many level-(L-1)
+    gates simulate one level-L gate in the model at hand.
+    """
+    _check_level(level)
+    _check_rate(gate_error)
+    if gates_per_level < 1:
+        raise AnalysisError(
+            f"gates_per_level must be >= 1, got {gates_per_level}"
+        )
+    return gates_per_level**level * KAPPA * sqrt(gate_error)
+
+
+def entropy_lower_bound(
+    gate_error: float, recovery_ops: int, level: int
+) -> float:
+    """``H_L >= g * (3E)**(L-1)`` for level >= 1 (Section 4)."""
+    if level < 1:
+        raise AnalysisError(f"lower bound is stated for level >= 1, got {level}")
+    _check_rate(gate_error)
+    if recovery_ops < 1:
+        raise AnalysisError(f"recovery_ops must be >= 1, got {recovery_ops}")
+    return gate_error * (3.0 * recovery_ops) ** (level - 1)
+
+
+def max_level_for_constant_entropy(gate_error: float, recovery_ops: int) -> float:
+    """``L <= log(1/g)/log(3E) + 1`` for O(1) bits of entropy per gate.
+
+    The paper's example: g = 10**-2, E = 11 gives L <= 2.3.
+    """
+    _check_rate(gate_error)
+    if gate_error == 0.0:
+        raise AnalysisError("noiseless gates dissipate nothing; L is unbounded")
+    if recovery_ops < 1:
+        raise AnalysisError(f"recovery_ops must be >= 1, got {recovery_ops}")
+    return log(1.0 / gate_error) / log(3.0 * recovery_ops) + 1.0
+
+
+def landauer_heat_joules(entropy_bits: float, temperature_kelvin: float) -> float:
+    """Minimum heat for erasing ``entropy_bits`` at a given temperature.
+
+    Landauer: ``dE >= k_B T ln 2`` joules per bit.
+    """
+    if entropy_bits < 0:
+        raise AnalysisError(f"entropy must be >= 0 bits, got {entropy_bits}")
+    if temperature_kelvin <= 0:
+        raise AnalysisError(
+            f"temperature must be positive kelvin, got {temperature_kelvin}"
+        )
+    return BOLTZMANN_J_PER_K * temperature_kelvin * log(2.0) * entropy_bits
+
+
+# ----------------------------------------------------------------------
+# Empirical entropy estimation (for the Monte-Carlo validation)
+# ----------------------------------------------------------------------
+
+
+def empirical_entropy(samples: Iterable[tuple]) -> float:
+    """Plug-in entropy (bits) of the empirical distribution of samples."""
+    counts = Counter(samples)
+    total = sum(counts.values())
+    if total == 0:
+        raise AnalysisError("cannot estimate entropy from zero samples")
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * log2(p)
+    return entropy
+
+
+def empirical_entropy_from_columns(bit_columns: np.ndarray) -> float:
+    """Entropy of the joint distribution of rows of a 0/1 array.
+
+    ``bit_columns`` has shape ``(samples, bits)``; rows are packed into
+    integers and the plug-in entropy of their histogram is returned.
+    """
+    array = np.asarray(bit_columns)
+    if array.ndim != 2:
+        raise AnalysisError(f"expected a 2-D array, got {array.ndim}-D")
+    packed = np.zeros(array.shape[0], dtype=np.int64)
+    for column in range(array.shape[1]):
+        packed = (packed << 1) | array[:, column].astype(np.int64)
+    _, counts = np.unique(packed, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+def _check_rate(gate_error: float) -> None:
+    if not 0.0 <= gate_error <= 1.0:
+        raise AnalysisError(f"error rate must be in [0, 1], got {gate_error}")
+
+
+def _check_level(level: int) -> None:
+    if level < 0:
+        raise AnalysisError(f"level must be >= 0, got {level}")

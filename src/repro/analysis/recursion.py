@@ -1,0 +1,144 @@
+"""Concatenation error recursion (Section 2.2, Eq. 2) and mixed
+thresholds (Section 3.3, Table 2).
+
+One recovery level maps ``g`` to ``3 C(G,2) g**2``; ``k`` levels give
+the closed form
+
+    g_k <= rho * (g / rho) ** (2 ** k),         rho = 1 / (3 C(G, 2))
+
+Concatenating ``k`` levels of a scheme with threshold ``rho_2`` under
+``L − k`` levels of a scheme with threshold ``rho_1`` behaves like a
+single scheme with effective threshold
+
+    rho(k) = rho_2 * (rho_1 / rho_2) ** (1 / 2**k)
+
+which is Table 2 when ``rho_2`` is the 2D threshold (1/273) and
+``rho_1`` the 1D threshold (1/2109) — both in the paper's
+no-initialisation accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.analysis.threshold import threshold
+from repro.errors import AnalysisError
+
+
+def one_level(gate_error: float, operation_count: int) -> float:
+    """Error rate after one level: ``3 C(G,2) g**2`` (capped at 1)."""
+    value = 3 * comb(operation_count, 2) * gate_error**2
+    return min(1.0, value)
+
+
+def error_at_level(gate_error: float, operation_count: int, level: int) -> float:
+    """Closed form of Eq. 2: ``rho (g/rho)^(2^level)``."""
+    if level < 0:
+        raise AnalysisError(f"level must be >= 0, got {level}")
+    rho = threshold(operation_count)
+    return min(1.0, rho * (gate_error / rho) ** (2**level))
+
+
+def iterate_levels(
+    gate_error: float, operation_count: int, levels: int
+) -> list[float]:
+    """Error rate at every level 0..levels by direct iteration.
+
+    The iterated values satisfy the closed form as an upper bound; the
+    test-suite checks both directions of that inequality.
+    """
+    if levels < 0:
+        raise AnalysisError(f"levels must be >= 0, got {levels}")
+    rates = [gate_error]
+    for _ in range(levels):
+        rates.append(one_level(rates[-1], operation_count))
+    return rates
+
+
+def mixed_threshold(rho_low: float, rho_high: float, inner_levels: int) -> float:
+    """Effective threshold ``rho(k)`` of Section 3.3.
+
+    ``rho_high`` (the paper's rho_2) is the better scheme used for the
+    innermost ``inner_levels`` levels; ``rho_low`` (rho_1) is the
+    weaker scheme used above them.
+    """
+    if inner_levels < 0:
+        raise AnalysisError(f"inner_levels must be >= 0, got {inner_levels}")
+    if not (0 < rho_low <= rho_high <= 1):
+        raise AnalysisError(
+            f"need 0 < rho_low <= rho_high <= 1, got {rho_low}, {rho_high}"
+        )
+    return rho_high * (rho_low / rho_high) ** (1.0 / 2**inner_levels)
+
+
+def mixed_error_at_level(
+    gate_error: float,
+    rho_low: float,
+    rho_high: float,
+    inner_levels: int,
+    total_levels: int,
+) -> float:
+    """Error after ``total_levels`` of the mixed scheme (Section 3.3)."""
+    if total_levels < inner_levels:
+        raise AnalysisError(
+            f"total_levels ({total_levels}) must be >= inner_levels "
+            f"({inner_levels})"
+        )
+    g_inner = min(1.0, rho_high * (gate_error / rho_high) ** (2**inner_levels))
+    remaining = total_levels - inner_levels
+    return min(1.0, rho_low * (g_inner / rho_low) ** (2**remaining))
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2."""
+
+    inner_levels: int
+    width: int
+    threshold_ratio: float
+
+
+#: Lattice width after k levels of 2D structure: the strip is 3**k bits
+#: wide (1, 3, 9, 27, 81, 243 in the paper's Width column).
+def strip_width(inner_levels: int) -> int:
+    """Width (in bits) of the 1D strip for ``k`` inner 2D levels."""
+    if inner_levels < 0:
+        raise AnalysisError(f"inner_levels must be >= 0, got {inner_levels}")
+    return 3**inner_levels
+
+
+def table2_rows(
+    rho_1d: float | None = None,
+    rho_2d: float | None = None,
+    max_inner_levels: int = 5,
+) -> list[Table2Row]:
+    """Regenerate Table 2: ``rho(k)/rho_2`` for k = 0..max_inner_levels.
+
+    Defaults use the paper's no-initialisation thresholds
+    ``rho_1 = 1/2109`` (1D) and ``rho_2 = 1/273`` (2D), which are the
+    values that reproduce the printed column 0.13, 0.36, 0.60, 0.77,
+    0.88, 0.94.
+    """
+    if rho_1d is None:
+        rho_1d = 1.0 / 2109.0
+    if rho_2d is None:
+        rho_2d = 1.0 / 273.0
+    rows = []
+    for k in range(max_inner_levels + 1):
+        ratio = mixed_threshold(rho_1d, rho_2d, k) / rho_2d
+        rows.append(
+            Table2Row(inner_levels=k, width=strip_width(k), threshold_ratio=ratio)
+        )
+    return rows
+
+
+#: Table 2 exactly as printed (k, width, rho(k)/rho_2).
+PAPER_TABLE_2: tuple[tuple[int, int, float], ...] = (
+    (0, 1, 0.13),
+    (1, 3, 0.36),
+    (2, 9, 0.60),
+    (3, 27, 0.77),
+    (4, 81, 0.88),
+    (5, 243, 0.94),
+)

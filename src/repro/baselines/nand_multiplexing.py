@@ -1,0 +1,180 @@
+"""Von Neumann NAND multiplexing — the irreversible baseline.
+
+The paper motivates its reversible scheme against "the best gate-level,
+fault-tolerant schemes for classical computing... based on Von-Neumann
+multiplexing", which tolerate gate error rates "less than about 11%".
+This module implements that scheme so the two can be compared:
+
+* each logical signal is a *bundle* of ``N`` wires;
+* a multiplexed NAND unit is an **executive stage** (pair the two input
+  bundles under a random permutation, NAND each pair) followed by a
+  **restorative stage** (duplicate the output bundle, randomly permute,
+  and apply two more NAND stages to push the bundle back toward its
+  nominal value);
+* every NAND gate independently *flips its output* with probability
+  ``epsilon`` (von Neumann's error model for two-input organs).
+
+Both the deterministic bundle-fraction recursion (the ``N -> infinity``
+limit) and a finite-``N`` Monte-Carlo simulation are provided, plus a
+bisection search for the critical ``epsilon`` — which lands at ~0.09,
+the same order as the paper's quoted ~11% and one to two orders of
+magnitude above the reversible thresholds (1/108 ... 1/2340).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if not 0.0 <= epsilon <= 1.0:
+        raise AnalysisError(f"epsilon must be in [0, 1], got {epsilon}")
+
+
+def nand_stage_fraction(xi_a: float, xi_b: float, epsilon: float) -> float:
+    """Stimulated-output fraction of one NAND stage (infinite bundle).
+
+    With independent pairing, a NAND output is stimulated when its
+    inputs are not both stimulated, XOR a gate flip:
+    ``(1-eps)(1 - a b) + eps a b``.
+    """
+    _check_epsilon(epsilon)
+    product = xi_a * xi_b
+    return (1.0 - epsilon) * (1.0 - product) + epsilon * product
+
+
+def multiplexed_unit_fraction(xi_a: float, xi_b: float, epsilon: float) -> float:
+    """Output stimulated fraction of a full executive+restorative unit."""
+    executive = nand_stage_fraction(xi_a, xi_b, epsilon)
+    first_restore = nand_stage_fraction(executive, executive, epsilon)
+    return nand_stage_fraction(first_restore, first_restore, epsilon)
+
+
+def iterate_units(
+    xi: float, epsilon: float, units: int
+) -> list[float]:
+    """Iterate the unit map, tracking the worst-case logical signal.
+
+    Feeding a unit two copies of a bundle at stimulated fraction ``xi``
+    models a chain of NANDs computing NOT-AND of identical signals; the
+    nominal trajectory alternates polarity, so the *error* is the
+    distance to the alternating nominal value.
+    """
+    trajectory = [xi]
+    for _ in range(units):
+        trajectory.append(multiplexed_unit_fraction(trajectory[-1], trajectory[-1], epsilon))
+    return trajectory
+
+
+def degrades(epsilon: float, units: int = 60, start_error: float = 0.01) -> bool:
+    """True when iterated units lose the logical signal at this noise.
+
+    Starts from stimulated fraction ``1 - start_error`` (a nearly clean
+    "1" bundle) and checks whether, after ``units`` iterations, the
+    bundle still decides its nominal value by a 10% margin.  Below the
+    threshold the map's stable fixed points stay near 0/1; above it
+    they merge toward 1/2 and the margin collapses.
+    """
+    trajectory = iterate_units(1.0 - start_error, epsilon, units)
+    final = trajectory[-1]
+    nominal_is_one = units % 2 == 0
+    margin = final - 0.5 if nominal_is_one else 0.5 - final
+    return margin < 0.1
+
+
+def critical_epsilon(
+    lower: float = 0.0, upper: float = 0.25, iterations: int = 40
+) -> float:
+    """Bisection estimate of the multiplexing threshold (~0.09)."""
+    if not degrades(upper):
+        raise AnalysisError(f"no degradation even at epsilon={upper}")
+    if degrades(lower):
+        raise AnalysisError(f"degradation already at epsilon={lower}")
+    low, high = lower, upper
+    for _ in range(iterations):
+        middle = (low + high) / 2.0
+        if degrades(middle):
+            high = middle
+        else:
+            low = middle
+    return (low + high) / 2.0
+
+
+# ----------------------------------------------------------------------
+# Finite-bundle Monte Carlo
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BundleSimulator:
+    """Finite-``N`` NAND multiplexing with real random permutations."""
+
+    bundle_size: int
+    epsilon: float
+    rng: np.random.Generator
+
+    @staticmethod
+    def create(
+        bundle_size: int, epsilon: float, seed: int | None = None
+    ) -> "BundleSimulator":
+        """Build a simulator with a fresh seeded generator."""
+        if bundle_size < 1:
+            raise AnalysisError(f"bundle size must be >= 1, got {bundle_size}")
+        _check_epsilon(epsilon)
+        return BundleSimulator(
+            bundle_size=bundle_size,
+            epsilon=epsilon,
+            rng=np.random.default_rng(seed),
+        )
+
+    def bundle(self, value: int, error_fraction: float = 0.0) -> np.ndarray:
+        """A bundle carrying ``value`` with a corrupted fraction."""
+        if value not in (0, 1):
+            raise AnalysisError(f"bundle value must be 0 or 1, got {value!r}")
+        lines = np.full(self.bundle_size, value, dtype=np.uint8)
+        n_bad = int(round(error_fraction * self.bundle_size))
+        if n_bad:
+            bad = self.rng.choice(self.bundle_size, size=n_bad, replace=False)
+            lines[bad] ^= 1
+        return lines
+
+    def nand_stage(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """One NAND stage: permute ``b``, NAND pairwise, flip w.p. eps."""
+        paired = b[self.rng.permutation(self.bundle_size)]
+        output = 1 - (a & paired)
+        flips = (self.rng.random(self.bundle_size) < self.epsilon).astype(np.uint8)
+        return output ^ flips
+
+    def unit(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Executive stage plus two-restorative-stage restoration."""
+        executive = self.nand_stage(a, b)
+        restored = self.nand_stage(executive, executive.copy())
+        return self.nand_stage(restored, restored.copy())
+
+    def run_chain(self, units: int, start_error: float = 0.01) -> float:
+        """Iterate units on a nominal-1 bundle; return the final margin.
+
+        The returned value is the decision margin toward the nominal
+        value (positive = still decodable).
+        """
+        bundle = self.bundle(1, start_error)
+        for _ in range(units):
+            bundle = self.unit(bundle, bundle.copy())
+        fraction = float(bundle.mean())
+        nominal_is_one = units % 2 == 0
+        return fraction - 0.5 if nominal_is_one else 0.5 - fraction
+
+
+def monte_carlo_degrades(
+    epsilon: float,
+    bundle_size: int = 2000,
+    units: int = 40,
+    seed: int | None = 0,
+) -> bool:
+    """Finite-``N`` counterpart of :func:`degrades`."""
+    simulator = BundleSimulator.create(bundle_size, epsilon, seed)
+    return simulator.run_chain(units) < 0.1

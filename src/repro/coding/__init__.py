@@ -1,0 +1,67 @@
+"""Repetition coding, majority-multiplexing recovery, concatenation."""
+
+from repro.coding.concatenation import (
+    Block,
+    ConcatenatedComputation,
+    compile_gate,
+    compile_recovery,
+    concatenated_gate_circuit,
+    gamma_census,
+)
+from repro.coding.logical import (
+    LogicalProcessor,
+    WIRES_PER_LOGICAL_BIT,
+    append_transversal_gate,
+    transversal_wire_triples,
+)
+from repro.coding.recovery import (
+    ANCILLA_WIRES,
+    DATA_WIRES,
+    DECODE_TRIPLES,
+    ENCODE_TRIPLES,
+    OUTPUT_WIRES,
+    RECOVERY_OPS_WITH_INIT,
+    RECOVERY_OPS_WITHOUT_INIT,
+    RecoveryLayout,
+    append_recovery,
+    operations_per_encoded_gate,
+    recovery_circuit,
+    recovery_op_count,
+    repeated_recovery,
+)
+from repro.coding.repetition import (
+    LOGICAL_ONE,
+    LOGICAL_ZERO,
+    RepetitionCode,
+    THREE_BIT_CODE,
+)
+
+__all__ = [
+    "Block",
+    "ConcatenatedComputation",
+    "compile_gate",
+    "compile_recovery",
+    "concatenated_gate_circuit",
+    "gamma_census",
+    "LogicalProcessor",
+    "WIRES_PER_LOGICAL_BIT",
+    "append_transversal_gate",
+    "transversal_wire_triples",
+    "ANCILLA_WIRES",
+    "DATA_WIRES",
+    "DECODE_TRIPLES",
+    "ENCODE_TRIPLES",
+    "OUTPUT_WIRES",
+    "RECOVERY_OPS_WITH_INIT",
+    "RECOVERY_OPS_WITHOUT_INIT",
+    "RecoveryLayout",
+    "append_recovery",
+    "operations_per_encoded_gate",
+    "recovery_circuit",
+    "recovery_op_count",
+    "repeated_recovery",
+    "LOGICAL_ONE",
+    "LOGICAL_ZERO",
+    "RepetitionCode",
+    "THREE_BIT_CODE",
+]

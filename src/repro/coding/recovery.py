@@ -1,0 +1,161 @@
+"""The majority-multiplexing error-recovery circuit (Figure 2).
+
+The circuit acts on nine wires: a 3-bit repetition codeword on the
+*data* wires plus six freshly initialised *ancilla* wires.  It has two
+phases:
+
+* **encode** — three ``MAJ⁻¹`` gates fan each data bit out onto two
+  zeroed ancillas (``MAJ⁻¹(b, 0, 0) = (b, b, b)``), arranged so each
+  subsequent decode block holds one copy of every data bit;
+* **decode** — three ``MAJ`` gates compute block majorities into the
+  three *output* wires, which form the recovered codeword.
+
+With the standard wire numbering (data ``0,1,2``, ancillas ``3..8``)
+the encode triples are ``(0,3,6) (1,4,7) (2,5,8)``, the decode triples
+are ``(0,1,2) (3,4,5) (6,7,8)``, and the outputs are ``0,3,6`` — the
+recovered codeword lands on different wires than it entered, a uniform
+rotation of the logical bit line the paper notes can be ignored
+(footnote 3).  :class:`RecoveryLayout` tracks that rotation so recovery
+cycles can be chained indefinitely.
+
+Fault-tolerance, proved exhaustively in the test-suite:
+
+* clean input, no faults → output equals input codeword;
+* any single-bit input error, no faults → the error is corrected;
+* clean input, any single internal fault (any operation replaced by an
+  arbitrary pattern) → at most one bit of the output codeword is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.circuit import Circuit
+from repro.errors import CodingError
+
+#: Standard Figure-2 wire roles.
+DATA_WIRES: tuple[int, int, int] = (0, 1, 2)
+ANCILLA_WIRES: tuple[int, ...] = (3, 4, 5, 6, 7, 8)
+OUTPUT_WIRES: tuple[int, int, int] = (0, 3, 6)
+ENCODE_TRIPLES: tuple[tuple[int, int, int], ...] = ((0, 3, 6), (1, 4, 7), (2, 5, 8))
+DECODE_TRIPLES: tuple[tuple[int, int, int], ...] = ((0, 1, 2), (3, 4, 5), (6, 7, 8))
+
+#: Operation counts quoted in Section 2.2: E = 8 with initialisation
+#: (two 3-bit resets + three MAJ⁻¹ + three MAJ) and E = 6 without.
+RECOVERY_OPS_WITH_INIT = 8
+RECOVERY_OPS_WITHOUT_INIT = 6
+
+
+@dataclass(frozen=True)
+class RecoveryLayout:
+    """Wire roles for one codeword-plus-ancillas cell of nine wires.
+
+    ``data`` holds the codeword; ``ancillas`` the six scratch wires.
+    :meth:`advance` returns the roles after one recovery cycle.
+    """
+
+    data: tuple[int, int, int]
+    ancillas: tuple[int, int, int, int, int, int]
+
+    def __post_init__(self) -> None:
+        wires = self.data + self.ancillas
+        if len(set(wires)) != 9:
+            raise CodingError(f"layout wires must be 9 distinct wires: {wires}")
+
+    @staticmethod
+    def standard(offset: int = 0) -> "RecoveryLayout":
+        """The Figure-2 layout, optionally shifted by ``offset`` wires."""
+        return RecoveryLayout(
+            data=tuple(w + offset for w in DATA_WIRES),
+            ancillas=tuple(w + offset for w in ANCILLA_WIRES),
+        )
+
+    @property
+    def wires(self) -> tuple[int, ...]:
+        """All nine wires of the cell, data first."""
+        return self.data + self.ancillas
+
+    def encode_triples(self) -> tuple[tuple[int, int, int], ...]:
+        """MAJ⁻¹ operand triples: (data bit, one ancilla per group)."""
+        d0, d1, d2 = self.data
+        a0, a1, a2, a3, a4, a5 = self.ancillas
+        return ((d0, a0, a3), (d1, a1, a4), (d2, a2, a5))
+
+    def decode_triples(self) -> tuple[tuple[int, int, int], ...]:
+        """MAJ operand triples: one copy of every data bit per block."""
+        d0, d1, d2 = self.data
+        a0, a1, a2, a3, a4, a5 = self.ancillas
+        return ((d0, d1, d2), (a0, a1, a2), (a3, a4, a5))
+
+    def reset_groups(self) -> tuple[tuple[int, int, int], ...]:
+        """The two 3-bit initialisation groups."""
+        a0, a1, a2, a3, a4, a5 = self.ancillas
+        return ((a0, a1, a2), (a3, a4, a5))
+
+    def output_wires(self) -> tuple[int, int, int]:
+        """Wires holding the recovered codeword after the cycle."""
+        d0, _, _ = self.data
+        a0, _, _, a3, _, _ = self.ancillas
+        return (d0, a0, a3)
+
+    def advance(self) -> "RecoveryLayout":
+        """Roles after one recovery cycle (the footnote-3 rotation)."""
+        d0, d1, d2 = self.data
+        a0, a1, a2, a3, a4, a5 = self.ancillas
+        return RecoveryLayout(data=(d0, a0, a3), ancillas=(d1, d2, a1, a2, a4, a5))
+
+
+def append_recovery(
+    circuit: Circuit, layout: RecoveryLayout, include_resets: bool = True
+) -> RecoveryLayout:
+    """Append one recovery cycle for ``layout`` to ``circuit``.
+
+    Returns the layout after the cycle.  ``include_resets=False`` omits
+    the two initialisation operations (the paper's E = 6 accounting);
+    callers are then responsible for the ancillas being clean.
+    """
+    if include_resets:
+        for group in layout.reset_groups():
+            circuit.append_reset(*group)
+    for triple in layout.encode_triples():
+        circuit.maj_inv(*triple)
+    for triple in layout.decode_triples():
+        circuit.maj(*triple)
+    return layout.advance()
+
+
+def recovery_circuit(include_resets: bool = True, name: str = "EL") -> Circuit:
+    """The Figure-2 recovery circuit on the standard nine-wire layout.
+
+    The recovered codeword lands on :data:`OUTPUT_WIRES`.
+    """
+    circuit = Circuit(9, name=name)
+    append_recovery(circuit, RecoveryLayout.standard(), include_resets)
+    return circuit
+
+
+def repeated_recovery(
+    cycles: int, include_resets: bool = True, name: str = "EL^n"
+) -> tuple[Circuit, RecoveryLayout]:
+    """``cycles`` chained recovery cycles on nine wires.
+
+    Returns the circuit and the final layout (whose ``data`` wires hold
+    the surviving codeword).
+    """
+    if cycles < 0:
+        raise CodingError(f"cycle count must be >= 0, got {cycles}")
+    circuit = Circuit(9, name=name)
+    layout = RecoveryLayout.standard()
+    for _ in range(cycles):
+        layout = append_recovery(circuit, layout, include_resets)
+    return circuit, layout
+
+
+def recovery_op_count(include_resets: bool = True) -> int:
+    """E, the number of operations in one recovery cycle (Section 2.2)."""
+    return RECOVERY_OPS_WITH_INIT if include_resets else RECOVERY_OPS_WITHOUT_INIT
+
+
+def operations_per_encoded_gate(include_resets: bool = True) -> int:
+    """G = 3 + E, operations touching a codeword per logical gate cycle."""
+    return 3 + recovery_op_count(include_resets)

@@ -1,0 +1,321 @@
+"""Reversible circuits as ordered sequences of operations on wires.
+
+The paper's gate-array picture (space on the y-axis, time on the
+x-axis) maps directly onto :class:`Circuit`: wires are fixed bit
+locations and operations are applied left to right.  Two kinds of
+operation exist:
+
+* **gate** operations — a :class:`~repro.core.gate.Gate` applied to a
+  tuple of distinct wires;
+* **reset** operations — re-initialisation of a tuple of wires to a
+  constant, modelling the paper's 3-bit ancilla initialisations (the
+  only irreversible primitive, and the mechanism by which entropy
+  leaves the computer).
+
+Circuits compose (``+``), invert (when reset-free), remap onto other
+wire sets, and tensor side by side; they also provide the op census
+used by the threshold accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core import library
+from repro.core.gate import Gate
+from repro.errors import CircuitError
+
+
+class OpKind(enum.Enum):
+    """The two kinds of circuit operation."""
+
+    GATE = "gate"
+    RESET = "reset"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One column of the gate array: a gate or a reset on some wires."""
+
+    kind: OpKind
+    wires: tuple[int, ...]
+    gate: Gate | None = None
+    reset_value: int = 0
+
+    def __post_init__(self) -> None:
+        if len(set(self.wires)) != len(self.wires):
+            raise CircuitError(f"operation wires must be distinct: {self.wires}")
+        if not self.wires:
+            raise CircuitError("operation must touch at least one wire")
+        if self.kind is OpKind.GATE:
+            if self.gate is None:
+                raise CircuitError("gate operation requires a gate")
+            if self.gate.arity != len(self.wires):
+                raise CircuitError(
+                    f"gate {self.gate.name!r} has arity {self.gate.arity} but "
+                    f"was applied to {len(self.wires)} wires"
+                )
+        else:
+            if self.gate is not None:
+                raise CircuitError("reset operation must not carry a gate")
+            if self.reset_value not in (0, 1):
+                raise CircuitError(
+                    f"reset value must be 0 or 1, got {self.reset_value!r}"
+                )
+
+    @property
+    def is_gate(self) -> bool:
+        """True for gate operations."""
+        return self.kind is OpKind.GATE
+
+    @property
+    def is_reset(self) -> bool:
+        """True for reset operations."""
+        return self.kind is OpKind.RESET
+
+    @property
+    def label(self) -> str:
+        """Display/census name: the gate name, or ``RESET``."""
+        if self.is_gate:
+            assert self.gate is not None
+            return self.gate.name
+        return "RESET"
+
+    def remapped(self, mapping: Mapping[int, int]) -> "Operation":
+        """The same operation on relabelled wires."""
+        try:
+            wires = tuple(mapping[w] for w in self.wires)
+        except KeyError as exc:
+            raise CircuitError(f"wire {exc.args[0]} missing from remapping") from exc
+        return Operation(
+            kind=self.kind, wires=wires, gate=self.gate, reset_value=self.reset_value
+        )
+
+
+@dataclass
+class Circuit:
+    """An ordered list of operations on ``n_wires`` wires.
+
+    The mutating ``append_*`` helpers return ``self`` so circuits can be
+    built fluently::
+
+        circuit = Circuit(3).cnot(0, 1).cnot(0, 2).toffoli(1, 2, 0)
+    """
+
+    n_wires: int
+    name: str = ""
+    _ops: list[Operation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_wires < 1:
+            raise CircuitError(f"circuit needs >= 1 wire, got {self.n_wires}")
+        for op in self._ops:
+            self._validate(op)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _validate(self, op: Operation) -> None:
+        for wire in op.wires:
+            if not 0 <= wire < self.n_wires:
+                raise CircuitError(
+                    f"wire {wire} out of range for circuit with "
+                    f"{self.n_wires} wires"
+                )
+
+    def append(self, op: Operation) -> "Circuit":
+        """Append a pre-built operation."""
+        self._validate(op)
+        self._ops.append(op)
+        return self
+
+    def append_gate(self, gate: Gate, *wires: int) -> "Circuit":
+        """Append ``gate`` applied to ``wires`` (in gate-wire order)."""
+        return self.append(Operation(kind=OpKind.GATE, wires=tuple(wires), gate=gate))
+
+    def append_reset(self, *wires: int, value: int = 0) -> "Circuit":
+        """Append a reset of ``wires`` to ``value``."""
+        return self.append(
+            Operation(kind=OpKind.RESET, wires=tuple(wires), reset_value=value)
+        )
+
+    # Named conveniences for the standard library ----------------------
+
+    def x(self, wire: int) -> "Circuit":
+        """NOT on one wire."""
+        return self.append_gate(library.X, wire)
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        """Controlled NOT."""
+        return self.append_gate(library.CNOT, control, target)
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        """Exchange two wires."""
+        return self.append_gate(library.SWAP, a, b)
+
+    def toffoli(self, control_a: int, control_b: int, target: int) -> "Circuit":
+        """Doubly-controlled NOT."""
+        return self.append_gate(library.TOFFOLI, control_a, control_b, target)
+
+    def fredkin(self, control: int, a: int, b: int) -> "Circuit":
+        """Controlled SWAP."""
+        return self.append_gate(library.FREDKIN, control, a, b)
+
+    def swap3_down(self, a: int, b: int, c: int) -> "Circuit":
+        """Two-SWAP rotation ``(a,b,c) -> (b,c,a)`` (Figure 5)."""
+        return self.append_gate(library.SWAP3_DOWN, a, b, c)
+
+    def swap3_up(self, a: int, b: int, c: int) -> "Circuit":
+        """Two-SWAP rotation ``(a,b,c) -> (c,a,b)`` (Figure 5, reversed)."""
+        return self.append_gate(library.SWAP3_UP, a, b, c)
+
+    def maj(self, q0: int, q1: int, q2: int) -> "Circuit":
+        """The reversible majority gate of Table 1."""
+        return self.append_gate(library.MAJ, q0, q1, q2)
+
+    def maj_inv(self, q0: int, q1: int, q2: int) -> "Circuit":
+        """The inverse majority gate (encoder/fan-out)."""
+        return self.append_gate(library.MAJ_INV, q0, q1, q2)
+
+    # ------------------------------------------------------------------
+    # Sequence behaviour
+    # ------------------------------------------------------------------
+
+    @property
+    def ops(self) -> tuple[Operation, ...]:
+        """The operations, in time order."""
+        return tuple(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __getitem__(self, item: int | slice) -> "Operation | Circuit":
+        if isinstance(item, slice):
+            return Circuit(self.n_wires, name=self.name, _ops=list(self._ops[item]))
+        return self._ops[item]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Circuit":
+        """A shallow copy (operations are immutable)."""
+        return Circuit(
+            self.n_wires,
+            name=self.name if name is None else name,
+            _ops=list(self._ops),
+        )
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        if other.n_wires != self.n_wires:
+            raise CircuitError(
+                f"cannot concatenate circuits on {self.n_wires} and "
+                f"{other.n_wires} wires"
+            )
+        return Circuit(
+            self.n_wires,
+            name=self.name or other.name,
+            _ops=list(self._ops) + list(other._ops),
+        )
+
+    def inverse(self, name: str | None = None) -> "Circuit":
+        """Reverse the circuit, inverting each gate.
+
+        Resets are irreversible, so inverting a circuit containing them
+        raises :class:`CircuitError`.
+        """
+        inverted = Circuit(
+            self.n_wires,
+            name=(self.name + "⁻¹") if name is None and self.name else (name or ""),
+        )
+        for op in reversed(self._ops):
+            if op.is_reset:
+                raise CircuitError("cannot invert a circuit containing resets")
+            assert op.gate is not None
+            inverted.append_gate(op.gate.inverse(), *op.wires)
+        return inverted
+
+    def remap(self, mapping: Mapping[int, int] | Sequence[int], n_wires: int) -> "Circuit":
+        """Relabel wires via ``mapping`` onto a circuit with ``n_wires``.
+
+        ``mapping`` may be a dict or a sequence where position ``i``
+        holds the new index of old wire ``i``.
+        """
+        if not isinstance(mapping, Mapping):
+            mapping = {old: new for old, new in enumerate(mapping)}
+        remapped = Circuit(n_wires, name=self.name)
+        for op in self._ops:
+            remapped.append(op.remapped(mapping))
+        return remapped
+
+    def tensor(self, other: "Circuit", name: str = "") -> "Circuit":
+        """Place ``other`` below ``self`` on fresh wires, side by side."""
+        combined = Circuit(self.n_wires + other.n_wires, name=name)
+        for op in self._ops:
+            combined.append(op)
+        offset = {w: w + self.n_wires for w in range(other.n_wires)}
+        for op in other._ops:
+            combined.append(op.remapped(offset))
+        return combined
+
+    def repeated(self, times: int) -> "Circuit":
+        """The circuit concatenated with itself ``times`` times."""
+        if times < 0:
+            raise CircuitError(f"repetition count must be >= 0, got {times}")
+        result = Circuit(self.n_wires, name=self.name)
+        for _ in range(times):
+            for op in self._ops:
+                result.append(op)
+        return result
+
+    # ------------------------------------------------------------------
+    # Census and structure
+    # ------------------------------------------------------------------
+
+    def count_ops(self) -> Counter:
+        """Histogram of operation labels (gate names and ``RESET``)."""
+        return Counter(op.label for op in self._ops)
+
+    def gate_count(self, include_resets: bool = True) -> int:
+        """Number of operations, optionally excluding resets."""
+        if include_resets:
+            return len(self._ops)
+        return sum(1 for op in self._ops if op.is_gate)
+
+    @property
+    def has_resets(self) -> bool:
+        """True when the circuit contains a reset operation."""
+        return any(op.is_reset for op in self._ops)
+
+    def wires_touched(self) -> frozenset[int]:
+        """Wires used by at least one operation."""
+        touched: set[int] = set()
+        for op in self._ops:
+            touched.update(op.wires)
+        return frozenset(touched)
+
+    def ops_touching(self, wire: int) -> tuple[int, ...]:
+        """Indices of operations acting on ``wire``."""
+        return tuple(i for i, op in enumerate(self._ops) if wire in op.wires)
+
+    def depth(self) -> int:
+        """Greedy ASAP layering depth (ops on disjoint wires overlap)."""
+        frontier = [0] * self.n_wires
+        depth = 0
+        for op in self._ops:
+            layer = 1 + max(frontier[w] for w in op.wires)
+            for w in op.wires:
+                frontier[w] = layer
+            depth = max(depth, layer)
+        return depth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"Circuit({self.n_wires} wires,{label} {len(self._ops)} ops)"

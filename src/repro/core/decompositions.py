@@ -1,0 +1,82 @@
+"""Standard decompositions between the library's gates.
+
+The paper builds ``MAJ`` from two CNOTs and a Toffoli (Figure 1) and
+``SWAP3`` from two SWAPs (Figure 5).  This module collects those and
+the other classic inter-gate constructions, each as a concrete
+:class:`~repro.core.circuit.Circuit` whose action is *verified by
+exhaustion* in the test-suite.  They are useful when a target
+technology offers only part of the gate set.
+"""
+
+from __future__ import annotations
+
+from repro.core.circuit import Circuit
+from repro.core import library
+from repro.core.gate import Gate
+
+
+def maj_circuit() -> Circuit:
+    """Figure 1: ``MAJ`` from two CNOTs and one Toffoli."""
+    return Circuit(3, name="MAJ-from-CNOT-Toffoli").cnot(0, 1).cnot(0, 2).toffoli(1, 2, 0)
+
+
+def maj_inv_circuit() -> Circuit:
+    """``MAJ⁻¹`` as the reversed Figure-1 construction."""
+    return maj_circuit().inverse(name="MAJ⁻¹-from-CNOT-Toffoli")
+
+
+def toffoli_from_maj_circuit() -> Circuit:
+    """Toffoli (controls wires 1,2; target wire 0) from MAJ and CNOTs.
+
+    Inverting Figure 1: ``TOFFOLI = MAJ ∘ CNOT(0,2)⁻¹ ∘ CNOT(0,1)⁻¹``.
+    """
+    return (
+        Circuit(3, name="Toffoli-from-MAJ").cnot(0, 2).cnot(0, 1).maj(0, 1, 2)
+    )
+
+
+def swap_from_cnots_circuit() -> Circuit:
+    """SWAP from three alternating CNOTs."""
+    return Circuit(2, name="SWAP-from-CNOTs").cnot(0, 1).cnot(1, 0).cnot(0, 1)
+
+
+def swap3_up_circuit() -> Circuit:
+    """Figure 5: the upward rotation from two adjacent SWAPs."""
+    return Circuit(3, name="SWAP3-up-from-SWAPs").swap(1, 2).swap(0, 1)
+
+
+def swap3_down_circuit() -> Circuit:
+    """The downward rotation from two adjacent SWAPs."""
+    return Circuit(3, name="SWAP3-down-from-SWAPs").swap(0, 1).swap(1, 2)
+
+
+def fredkin_from_toffoli_circuit() -> Circuit:
+    """Controlled-SWAP from a Toffoli conjugated by CNOTs."""
+    return (
+        Circuit(3, name="Fredkin-from-Toffoli")
+        .cnot(2, 1)
+        .toffoli(0, 1, 2)
+        .cnot(2, 1)
+    )
+
+
+def nand_via_maj_inv_circuit() -> Circuit:
+    """The 3/2-bit-optimal NAND of Section 4, footnote 4.
+
+    Feed ``(1, a, b)``; after the circuit wire 0 holds ``NAND(a, b)``
+    and wires 1, 2 carry the 1.5 bits of entropy to be discarded.
+    """
+    return Circuit(3, name="NAND-via-MAJ⁻¹").maj_inv(0, 1, 2)
+
+
+#: Every decomposition, mapped to the gate it must reproduce (the
+#: Toffoli entry targets wires (1, 2, 0), noted in its builder).
+DECOMPOSITIONS: dict[str, tuple[Circuit, Gate, tuple[int, ...]]] = {
+    "maj": (maj_circuit(), library.MAJ, (0, 1, 2)),
+    "maj_inv": (maj_inv_circuit(), library.MAJ_INV, (0, 1, 2)),
+    "toffoli": (toffoli_from_maj_circuit(), library.TOFFOLI, (1, 2, 0)),
+    "swap": (swap_from_cnots_circuit(), library.SWAP, (0, 1)),
+    "swap3_up": (swap3_up_circuit(), library.SWAP3_UP, (0, 1, 2)),
+    "swap3_down": (swap3_down_circuit(), library.SWAP3_DOWN, (0, 1, 2)),
+    "fredkin": (fredkin_from_toffoli_circuit(), library.FREDKIN, (0, 1, 2)),
+}

@@ -1,0 +1,99 @@
+"""ASCII rendering of circuits in the paper's gate-array style.
+
+Wires run left to right; each operation occupies one column.  Gate
+cells follow the paper's figures: ``●`` for controls, ``⊕`` for CNOT /
+Toffoli targets, ``×`` for SWAP legs, bracketed labels like ``[MAJ]``
+for named multi-bit gates, and ``|0>`` for resets.  The renderer is
+deliberately simple — one column per operation, no compaction — so a
+drawing is a faithful, unambiguous transcript of the circuit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.circuit import Circuit, Operation
+
+_WIRE = "─"
+_GAP = " "
+
+
+def _gate_cells(op: Operation) -> dict[int, str]:
+    """Cell text for each wire touched by the operation."""
+    assert op.gate is not None
+    name = op.gate.name
+    cells: dict[int, str] = {}
+    if name == "CNOT":
+        control, target = op.wires
+        cells[control] = "●"
+        cells[target] = "⊕"
+    elif name == "TOFFOLI":
+        a, b, target = op.wires
+        cells[a] = "●"
+        cells[b] = "●"
+        cells[target] = "⊕"
+    elif name == "SWAP":
+        for wire in op.wires:
+            cells[wire] = "×"
+    elif name == "FREDKIN":
+        control, a, b = op.wires
+        cells[control] = "●"
+        cells[a] = "×"
+        cells[b] = "×"
+    elif name in ("SWAP3_DOWN", "SWAP3_UP"):
+        for wire in op.wires:
+            cells[wire] = "×"
+    elif name == "X":
+        cells[op.wires[0]] = "⊕"
+    else:
+        label = f"[{name}]"
+        for position, wire in enumerate(op.wires):
+            cells[wire] = label if position == 0 else f"[{'·' * len(name)}]"
+    return cells
+
+
+def _reset_cells(op: Operation) -> dict[int, str]:
+    return {wire: f"|{op.reset_value}>" for wire in op.wires}
+
+
+def draw(circuit: Circuit, labels: Sequence[str] | None = None) -> str:
+    """Render the circuit as multi-line ASCII art.
+
+    ``labels`` optionally names the wires (defaults to ``q0``, ``q1``…).
+    """
+    if labels is None:
+        labels = [f"q{i}" for i in range(circuit.n_wires)]
+    if len(labels) != circuit.n_wires:
+        raise ValueError(
+            f"got {len(labels)} labels for {circuit.n_wires} wires"
+        )
+
+    columns: list[dict[int, str]] = []
+    spans: list[tuple[int, int]] = []
+    for op in circuit:
+        cells = _reset_cells(op) if op.is_reset else _gate_cells(op)
+        columns.append(cells)
+        spans.append((min(op.wires), max(op.wires)))
+
+    widths = [
+        max((len(text) for text in cells.values()), default=1) for cells in columns
+    ]
+    label_width = max(len(label) for label in labels)
+
+    lines: list[str] = []
+    for wire in range(circuit.n_wires):
+        parts = [f"{labels[wire]:>{label_width}} "]
+        for cells, width, (low, high) in zip(columns, widths, spans):
+            if wire in cells:
+                cell = cells[wire].center(width)
+                if cells[wire] in ("●", "⊕", "×"):
+                    # Single-character symbols sit on the wire itself.
+                    cell = cell.replace(" ", _WIRE)
+                parts.append(_WIRE + cell + _WIRE)
+            elif low < wire < high:
+                # A vertical connector passes through this wire.
+                parts.append(_WIRE + "│".center(width) + _WIRE)
+            else:
+                parts.append(_WIRE * (width + 2))
+        lines.append("".join(parts))
+    return "\n".join(lines)

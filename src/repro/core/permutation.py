@@ -1,0 +1,187 @@
+"""Permutations on finite index sets.
+
+A :class:`Permutation` is the mathematical backbone of a reversible
+gate: a reversible gate on ``k`` wires *is* a permutation of the
+``2**k`` input patterns.  This module keeps permutations abstract
+(indices, not bits) so it can also serve the routing layer, where
+permutations act on wire positions rather than on states.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import GateDefinitionError
+
+
+@dataclass(frozen=True)
+class Permutation:
+    """An immutable permutation of ``range(size)``.
+
+    ``mapping[i]`` is the image of ``i``.  Construction validates that
+    the mapping is a bijection.
+    """
+
+    mapping: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        size = len(self.mapping)
+        seen = [False] * size
+        for image in self.mapping:
+            if not isinstance(image, int) or not 0 <= image < size:
+                raise GateDefinitionError(
+                    f"permutation entry {image!r} outside range({size})"
+                )
+            if seen[image]:
+                raise GateDefinitionError(
+                    f"permutation repeats image {image}; not a bijection"
+                )
+            seen[image] = True
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def identity(size: int) -> "Permutation":
+        """The identity permutation on ``range(size)``."""
+        return Permutation(tuple(range(size)))
+
+    @staticmethod
+    def from_cycles(size: int, cycles: Iterable[Sequence[int]]) -> "Permutation":
+        """Build a permutation from disjoint cycles.
+
+        >>> Permutation.from_cycles(3, [(0, 1)]).mapping
+        (1, 0, 2)
+        """
+        mapping = list(range(size))
+        touched: set[int] = set()
+        for cycle in cycles:
+            for element in cycle:
+                if element in touched:
+                    raise GateDefinitionError(
+                        f"element {element} appears in more than one cycle"
+                    )
+                touched.add(element)
+            for position, element in enumerate(cycle):
+                image = cycle[(position + 1) % len(cycle)]
+                mapping[element] = image
+        return Permutation(tuple(mapping))
+
+    # ------------------------------------------------------------------
+    # Group operations
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of elements the permutation acts on."""
+        return len(self.mapping)
+
+    def apply(self, index: int) -> int:
+        """Image of a single index."""
+        return self.mapping[index]
+
+    def __call__(self, index: int) -> int:
+        return self.mapping[index]
+
+    def compose(self, first: "Permutation") -> "Permutation":
+        """The permutation *self after first* (apply ``first``, then ``self``)."""
+        if first.size != self.size:
+            raise GateDefinitionError(
+                f"size mismatch composing permutations: {first.size} vs {self.size}"
+            )
+        return Permutation(tuple(self.mapping[first.mapping[i]] for i in range(self.size)))
+
+    def then(self, second: "Permutation") -> "Permutation":
+        """The permutation *second after self* (apply ``self``, then ``second``)."""
+        return second.compose(self)
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation."""
+        inverse = [0] * self.size
+        for index, image in enumerate(self.mapping):
+            inverse[image] = index
+        return Permutation(tuple(inverse))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def is_identity(self) -> bool:
+        """True when every element is a fixed point."""
+        return all(image == index for index, image in enumerate(self.mapping))
+
+    def fixed_points(self) -> tuple[int, ...]:
+        """Indices mapped to themselves."""
+        return tuple(i for i, image in enumerate(self.mapping) if image == i)
+
+    def cycles(self, include_fixed_points: bool = False) -> list[tuple[int, ...]]:
+        """Disjoint cycle decomposition, each cycle led by its minimum."""
+        seen = [False] * self.size
+        cycles: list[tuple[int, ...]] = []
+        for start in range(self.size):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            current = self.mapping[start]
+            while current != start:
+                cycle.append(current)
+                seen[current] = True
+                current = self.mapping[current]
+            if len(cycle) > 1 or include_fixed_points:
+                cycles.append(tuple(cycle))
+        return cycles
+
+    def order(self) -> int:
+        """Smallest positive ``n`` with ``self**n`` the identity."""
+        result = 1
+        for cycle in self.cycles():
+            result = _lcm(result, len(cycle))
+        return result
+
+    def parity(self) -> int:
+        """0 for even permutations, 1 for odd ones."""
+        transpositions = sum(len(cycle) - 1 for cycle in self.cycles())
+        return transpositions % 2
+
+    def inversions(self) -> int:
+        """Number of out-of-order pairs; the minimal adjacent-swap count.
+
+        Sorting the sequence ``mapping`` with adjacent transpositions
+        takes exactly this many swaps, which is why the routing layer
+        uses it to prove its swap schedules optimal.
+        """
+        count = 0
+        for i in range(self.size):
+            for j in range(i + 1, self.size):
+                if self.mapping[i] > self.mapping[j]:
+                    count += 1
+        return count
+
+    def __pow__(self, exponent: int) -> "Permutation":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Permutation.identity(self.size)
+        base = self
+        power = exponent
+        while power:
+            if power & 1:
+                result = base.compose(result)
+            base = base.compose(base)
+            power >>= 1
+        return result
+
+
+def _lcm(a: int, b: int) -> int:
+    from math import gcd
+
+    return a * b // gcd(a, b)
+
+
+def permutation_distance(left: Permutation, right: Permutation) -> int:
+    """Number of points on which two permutations disagree."""
+    if left.size != right.size:
+        raise GateDefinitionError("cannot compare permutations of different sizes")
+    return sum(1 for i in range(left.size) if left.mapping[i] != right.mapping[i])

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also catching unrelated
+built-in exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GateDefinitionError(ReproError):
+    """A gate definition is malformed (not a permutation, bad arity...)."""
+
+
+class CircuitError(ReproError):
+    """A circuit is malformed or an operation is invalid on it."""
+
+
+class SimulationError(ReproError):
+    """A simulation was asked to do something unsupported or inconsistent."""
+
+
+class CodingError(ReproError):
+    """An encoding/decoding operation on a code is invalid."""
+
+
+class LocalityError(ReproError):
+    """A circuit violates the locality constraints of a lattice."""
+
+
+class AnalysisError(ReproError):
+    """An analytic computation received parameters outside its domain."""

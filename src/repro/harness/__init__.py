@@ -1,0 +1,37 @@
+"""Statistics, sweeps, threshold search, tables, experiment registry."""
+
+from repro.harness.experiments import (
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    run_experiment,
+    trial_budget,
+)
+from repro.harness.stats import RateEstimate, required_trials, wilson_interval
+from repro.harness.sweep import SweepResult, crossing_index, geometric_grid, sweep
+from repro.harness.tables import format_table, paper_vs_measured
+from repro.harness.threshold_finder import (
+    PseudoThreshold,
+    find_pseudo_threshold,
+    logical_error_per_cycle,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+    "trial_budget",
+    "RateEstimate",
+    "required_trials",
+    "wilson_interval",
+    "SweepResult",
+    "crossing_index",
+    "geometric_grid",
+    "sweep",
+    "format_table",
+    "paper_vs_measured",
+    "PseudoThreshold",
+    "find_pseudo_threshold",
+    "logical_error_per_cycle",
+]

@@ -1,0 +1,84 @@
+"""Statistics for Monte-Carlo failure-rate estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, sqrt
+
+from repro.errors import AnalysisError
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Behaves sensibly at 0 and ``trials`` successes, unlike the normal
+    approximation, which matters for the very low logical error rates
+    this library estimates.
+    """
+    if trials <= 0:
+        raise AnalysisError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise AnalysisError(
+            f"successes ({successes}) must be within [0, trials={trials}]"
+        )
+    p_hat = successes / trials
+    denominator = 1.0 + z**2 / trials
+    centre = (p_hat + z**2 / (2 * trials)) / denominator
+    margin = (
+        z
+        * sqrt(p_hat * (1.0 - p_hat) / trials + z**2 / (4.0 * trials**2))
+        / denominator
+    )
+    # At the boundaries the analytic endpoints are exactly 0 and 1;
+    # computing them through the general formula leaves float dust.
+    lower = 0.0 if successes == 0 else max(0.0, centre - margin)
+    upper = 1.0 if successes == trials else min(1.0, centre + margin)
+    return (lower, upper)
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A failure-rate estimate with its Wilson interval."""
+
+    failures: int
+    trials: int
+    z: float = 1.96
+
+    @property
+    def rate(self) -> float:
+        """The point estimate."""
+        return self.failures / self.trials
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The Wilson confidence interval."""
+        return wilson_interval(self.failures, self.trials, self.z)
+
+    def compatible_with(self, value: float) -> bool:
+        """True when ``value`` lies inside the confidence interval."""
+        low, high = self.interval
+        return low <= value <= high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        low, high = self.interval
+        return f"{self.rate:.3g} [{low:.3g}, {high:.3g}] ({self.trials} trials)"
+
+
+def required_trials(
+    probability: float, relative_error: float = 0.1, z: float = 1.96
+) -> int:
+    """Trials needed to estimate ``probability`` to a relative error.
+
+    Uses the binomial variance: ``n = z^2 (1-p) / (p rel^2)``.
+    """
+    if not 0.0 < probability < 1.0:
+        raise AnalysisError(
+            f"probability must be in (0, 1), got {probability}"
+        )
+    if relative_error <= 0:
+        raise AnalysisError(
+            f"relative error must be positive, got {relative_error}"
+        )
+    return ceil(z**2 * (1.0 - probability) / (probability * relative_error**2))

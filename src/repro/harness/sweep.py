@@ -1,0 +1,54 @@
+"""Parameter sweeps with tabular results."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Paired sweep inputs and outputs."""
+
+    parameter: str
+    xs: tuple
+    ys: tuple
+
+    def rows(self) -> list[tuple]:
+        """``(x, y)`` rows in sweep order."""
+        return list(zip(self.xs, self.ys))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+
+def sweep(
+    function: Callable,
+    values: Iterable,
+    parameter: str = "x",
+) -> SweepResult:
+    """Evaluate ``function`` over ``values`` and collect the pairs."""
+    xs = tuple(values)
+    ys = tuple(function(x) for x in xs)
+    return SweepResult(parameter=parameter, xs=xs, ys=ys)
+
+
+def geometric_grid(start: float, stop: float, points: int) -> list[float]:
+    """``points`` geometrically spaced values from start to stop."""
+    if points < 2:
+        return [start]
+    ratio = (stop / start) ** (1.0 / (points - 1))
+    return [start * ratio**i for i in range(points)]
+
+
+def crossing_index(xs: Sequence[float], ys: Sequence[float]) -> int | None:
+    """First index where ``ys`` crosses above ``xs`` (y >= x).
+
+    Used to locate a pseudo-threshold on a sweep of logical error
+    versus physical error: below threshold ``y < x``, above it
+    ``y > x``.
+    """
+    for index, (x, y) in enumerate(zip(xs, ys)):
+        if y >= x:
+            return index
+    return None

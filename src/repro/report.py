@@ -1,0 +1,47 @@
+"""Run every registered experiment and print the full comparison report.
+
+Usage::
+
+    python -m repro.report            # default trial budget
+    REPRO_TRIALS=100000 python -m repro.report
+
+This is the one-command regeneration of everything EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness.experiments import REGISTRY, run_experiment
+from repro.harness.tables import paper_vs_measured
+
+
+def main() -> int:
+    failures = 0
+    for experiment_id in REGISTRY:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - started
+        status = "PASS" if result.all_match else "FAIL"
+        print(f"[{status}] {experiment_id} ({elapsed:.1f}s)")
+        print(
+            paper_vs_measured(
+                result.rows, title=f"{result.experiment_id} — {result.paper_ref}"
+            )
+        )
+        if result.notes:
+            print(f"Notes: {result.notes}")
+        print()
+        if not result.all_match:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) did not match the paper")
+        return 1
+    print(f"all {len(REGISTRY)} experiments match the paper")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Tests for the concatenation compiler (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.concatenation import (
+    Block,
+    ConcatenatedComputation,
+    compile_recovery,
+    concatenated_gate_circuit,
+    gamma_census,
+)
+from repro.core import library
+from repro.core.bits import index_to_bits
+from repro.core.circuit import Circuit
+from repro.core.simulator import run
+from repro.errors import CodingError
+
+
+class TestBlockGeometry:
+    def test_level_zero(self):
+        block = Block.allocate(0, base=7)
+        assert block.size == 1
+        assert list(block.wires) == [7]
+        assert block.deep_data_wires() == [7]
+
+    def test_level_one(self):
+        block = Block.allocate(1)
+        assert block.size == 9
+        assert block.deep_data_wires() == [0, 1, 2]
+        assert [b.base for b in block.ancilla_blocks()] == [3, 4, 5, 6, 7, 8]
+
+    def test_level_two_size(self):
+        block = Block.allocate(2, base=81)
+        assert block.size == 81
+        assert block.wires == range(81, 162)
+        # Deep data: 3 data children x 3 deep wires each.
+        assert len(block.deep_data_wires()) == 9
+
+    def test_level_zero_has_no_children_queries(self):
+        block = Block.allocate(0)
+        with pytest.raises(CodingError):
+            block.data_blocks()
+        with pytest.raises(CodingError):
+            block.ancilla_blocks()
+
+    def test_advance_roles_partitions_children(self):
+        block = Block.allocate(1)
+        block.advance_roles()
+        assert sorted(block.data_children + block.ancilla_children) == list(range(9))
+        assert block.data_children == [0, 3, 6]
+
+    def test_decode_level_zero(self):
+        block = Block.allocate(0, base=2)
+        assert block.decode([0, 0, 1]) == 1
+
+    def test_decode_level_one_majority(self):
+        block = Block.allocate(1)
+        state = [1, 0, 1] + [0] * 6
+        assert block.decode(state) == 1
+
+
+class TestCompiledSemantics:
+    @given(st.integers(0, 7))
+    @settings(max_examples=8, deadline=None)
+    def test_level_one_gate_matches_logical_action(self, packed):
+        logical_in = index_to_bits(packed, 3)
+        computation = ConcatenatedComputation(3, level=1)
+        physical = computation.physical_input(logical_in)
+        computation.apply(library.MAJ, 0, 1, 2)
+        output = run(computation.circuit, physical)
+        assert computation.decode_output(output) == library.MAJ.apply(logical_in)
+
+    def test_level_two_gate_matches_logical_action(self):
+        computation = ConcatenatedComputation(3, level=2)
+        physical = computation.physical_input((1, 0, 1))
+        computation.apply(library.MAJ, 0, 1, 2)
+        output = run(computation.circuit, physical)
+        assert computation.decode_output(output) == library.MAJ.apply((1, 0, 1))
+
+    def test_level_two_corrects_a_planted_physical_error(self):
+        computation = ConcatenatedComputation(3, level=2)
+        physical = list(computation.physical_input((1, 1, 0)))
+        # Flip one deep physical bit of the first logical block.
+        physical[computation.blocks[0].deep_data_wires()[0]] ^= 1
+        computation.apply(library.MAJ, 0, 1, 2)
+        output = run(computation.circuit, tuple(physical))
+        assert computation.decode_output(output) == library.MAJ.apply((1, 1, 0))
+
+    def test_two_logical_bit_gate(self):
+        computation = ConcatenatedComputation(2, level=1)
+        physical = computation.physical_input((1, 0))
+        computation.apply(library.CNOT, 0, 1)
+        output = run(computation.circuit, physical)
+        assert computation.decode_output(output) == (1, 1)
+
+
+class TestGamma:
+    def test_census_matches_paper_gamma(self):
+        # Gamma_k = (3(1+E))^k with E = 6 (gates-only accounting).
+        for level, expected in ((1, 21), (2, 441)):
+            circuit, _ = concatenated_gate_circuit(library.MAJ, level)
+            assert gamma_census(circuit)["gates"] == expected
+
+    def test_level_one_reset_count(self):
+        circuit, _ = concatenated_gate_circuit(library.MAJ, 1)
+        assert gamma_census(circuit)["resets"] == 3 * 2  # 3 recoveries
+
+    def test_recovery_only_census(self):
+        circuit = Circuit(9)
+        compile_recovery(circuit, Block.allocate(1))
+        counts = circuit.count_ops()
+        assert counts == {"RESET": 2, "MAJ⁻¹": 3, "MAJ": 3}
+
+    def test_recover_false_gives_bare_transversal(self):
+        computation = ConcatenatedComputation(3, level=1)
+        computation.apply(library.MAJ, 0, 1, 2, recover=False)
+        assert len(computation.circuit) == 3
+
+
+class TestValidation:
+    def test_recovery_needs_level_one(self):
+        with pytest.raises(CodingError):
+            compile_recovery(Circuit(1), Block.allocate(0))
+
+    def test_level_must_be_positive(self):
+        with pytest.raises(CodingError):
+            ConcatenatedComputation(1, level=0)
+
+    def test_operands_must_be_distinct(self):
+        computation = ConcatenatedComputation(2, level=1)
+        with pytest.raises(CodingError):
+            computation.apply(library.CNOT, 0, 0)
+
+    def test_physical_input_validates(self):
+        computation = ConcatenatedComputation(2, level=1)
+        with pytest.raises(CodingError):
+            computation.physical_input((1,))
+        with pytest.raises(CodingError):
+            computation.physical_input((1, 2))
+
+    def test_mixed_level_operands_rejected(self):
+        from repro.coding.concatenation import compile_gate
+
+        circuit = Circuit(90)
+        blocks = [Block.allocate(1, 0), Block.allocate(0, 9), Block.allocate(1, 10)]
+        with pytest.raises(CodingError):
+            compile_gate(circuit, library.MAJ, blocks)

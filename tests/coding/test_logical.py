@@ -1,0 +1,158 @@
+"""Tests for level-1 transversal logic (LogicalProcessor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.logical import (
+    LogicalProcessor,
+    transversal_wire_triples,
+)
+from repro.coding.recovery import RecoveryLayout
+from repro.core import library
+from repro.core.bits import all_bit_vectors, index_to_bits
+from repro.core.simulator import run
+from repro.noise.model import NoiseModel
+from repro.noise.monte_carlo import NoisyRunner
+from repro.errors import CodingError
+
+three_bit_gates = st.sampled_from(
+    [library.MAJ, library.MAJ_INV, library.TOFFOLI, library.FREDKIN, library.SWAP3_UP]
+)
+
+
+class TestTransversal:
+    def test_wire_triples(self):
+        layouts = [RecoveryLayout.standard(0), RecoveryLayout.standard(9)]
+        triples = transversal_wire_triples(layouts)
+        assert triples == ((0, 9), (1, 10), (2, 11))
+
+    def test_arity_checked(self):
+        processor = LogicalProcessor(2)
+        with pytest.raises(CodingError):
+            processor.apply(library.MAJ, 0, 1)  # arity 3, two operands
+
+    def test_distinct_operands_required(self):
+        processor = LogicalProcessor(2)
+        with pytest.raises(CodingError):
+            processor.apply(library.CNOT, 0, 0)
+
+    def test_operand_range_checked(self):
+        processor = LogicalProcessor(2)
+        with pytest.raises(CodingError):
+            processor.apply(library.CNOT, 0, 5)
+
+
+class TestNoiselessSemantics:
+    @given(three_bit_gates, st.integers(0, 7))
+    @settings(max_examples=24, deadline=None)
+    def test_logical_gate_acts_on_logical_values(self, gate, packed):
+        logical_in = index_to_bits(packed, 3)
+        processor = LogicalProcessor(3)
+        processor.apply(gate, 0, 1, 2)
+        output = run(processor.circuit, processor.physical_input(logical_in))
+        assert processor.decode_output(output) == gate.apply(logical_in)
+
+    def test_cnot_on_two_logical_bits(self):
+        processor = LogicalProcessor(2)
+        processor.apply(library.CNOT, 0, 1)
+        output = run(processor.circuit, processor.physical_input((1, 0)))
+        assert processor.decode_output(output) == (1, 1)
+
+    def test_gate_sequence(self):
+        # A chain of logical gates with interleaved recovery cycles.
+        processor = LogicalProcessor(3)
+        processor.apply(library.CNOT, 0, 1)
+        processor.apply(library.TOFFOLI, 0, 1, 2)
+        processor.apply(library.CNOT, 1, 2)
+        state = (1, 0, 0)
+        output = run(processor.circuit, processor.physical_input(state))
+        expected = (1, 1, 0)
+        expected = (expected[0], expected[1], expected[2] ^ (expected[0] & expected[1]))
+        expected = (expected[0], expected[1], expected[2] ^ expected[1])
+        assert processor.decode_output(output) == expected
+
+    def test_recovery_cycles_appended_per_operand(self):
+        processor = LogicalProcessor(3)
+        processor.apply(library.MAJ, 0, 1, 2)
+        # 3 transversal + 3 recoveries of 8 ops each.
+        assert len(processor.circuit) == 3 + 3 * 8
+
+    def test_recover_flag_skips_recovery(self):
+        processor = LogicalProcessor(3)
+        processor.apply(library.MAJ, 0, 1, 2, recover=False)
+        assert len(processor.circuit) == 3
+
+    def test_recover_all(self):
+        processor = LogicalProcessor(2)
+        processor.recover_all()
+        assert len(processor.circuit) == 2 * 8
+
+
+class TestInputOutput:
+    def test_physical_input_places_codewords(self):
+        processor = LogicalProcessor(2)
+        state = processor.physical_input((1, 0))
+        assert state[0:3] == (1, 1, 1)
+        assert state[9:12] == (0, 0, 0)
+        assert sum(state) == 3
+
+    def test_physical_input_length_checked(self):
+        with pytest.raises(CodingError):
+            LogicalProcessor(2).physical_input((1,))
+
+    def test_decode_follows_layout_rotation(self):
+        processor = LogicalProcessor(1)
+        processor.recover(0)
+        output = run(processor.circuit, processor.physical_input((1,)))
+        assert processor.decode_output(output) == (1,)
+
+    def test_decode_batch_matches_scalar_decode(self):
+        processor = LogicalProcessor(2)
+        processor.apply(library.CNOT, 0, 1)
+        physical = processor.physical_input((1, 1))
+        runner = NoisyRunner(NoiseModel.noiseless(), seed=0)
+        result = runner.run_from_input(processor.circuit, physical, trials=8)
+        decoded = processor.decode_batch(result.states)
+        assert decoded.shape == (8, 2)
+        assert (decoded == np.array([1, 0], dtype=np.uint8)).all()
+
+
+class TestFaultToleranceValue:
+    def test_protected_beats_unprotected_at_moderate_noise(self):
+        gate_error = 0.004
+        trials = 4000
+        logical_in = (1, 0, 1)
+        expected = library.MAJ.apply(logical_in)
+
+        protected = LogicalProcessor(3)
+        for _ in range(4):
+            protected.apply(library.MAJ, 0, 1, 2)
+            protected.apply(library.MAJ_INV, 0, 1, 2)
+        protected.apply(library.MAJ, 0, 1, 2)
+        runner = NoisyRunner(NoiseModel(gate_error=gate_error), seed=5)
+        result = runner.run_from_input(
+            protected.circuit, protected.physical_input(logical_in), trials
+        )
+        decoded = protected.decode_batch(result.states)
+        protected_failures = (
+            (decoded != np.asarray(expected, dtype=np.uint8)).any(axis=1).mean()
+        )
+
+        from repro.core.circuit import Circuit
+
+        bare = Circuit(3)
+        for _ in range(4):
+            bare.maj(0, 1, 2).maj_inv(0, 1, 2)
+        bare.maj(0, 1, 2)
+        runner = NoisyRunner(NoiseModel(gate_error=gate_error), seed=6)
+        bare_result = runner.run_from_input(bare, logical_in, trials)
+        bare_failures = (
+            (bare_result.states.array != np.asarray(expected, dtype=np.uint8))
+            .any(axis=1)
+            .mean()
+        )
+        assert protected_failures < bare_failures

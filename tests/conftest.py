@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import THREE_BIT_CODE
+from repro.local import ONE_D_DATA_POSITIONS
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+def embed_codeword(codeword, data_wires, n_wires: int = 9) -> tuple[int, ...]:
+    """Place a codeword on selected wires, zeros elsewhere."""
+    state = [0] * n_wires
+    for wire, bit in zip(data_wires, codeword):
+        state[wire] = bit
+    return tuple(state)
+
+
+def embed_standard(codeword) -> tuple[int, ...]:
+    """Codeword on wires 0,1,2 of the standard Figure-2 layout."""
+    return tuple(codeword) + (0,) * 6
+
+
+def embed_one_d(codeword) -> tuple[int, ...]:
+    """Codeword on the 1D line's data positions 0, 3, 6."""
+    return embed_codeword(codeword, ONE_D_DATA_POSITIONS)
+
+
+def all_corrupted_codewords():
+    """Every codeword with zero or one bit flipped, with its logical."""
+    cases = []
+    for logical in (0, 1):
+        codeword = THREE_BIT_CODE.encode(logical)
+        cases.append((logical, codeword))
+        for position in range(3):
+            cases.append((logical, THREE_BIT_CODE.corrupt(codeword, [position])))
+    return cases

@@ -1,0 +1,180 @@
+"""Unit tests for repro.core.circuit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import library
+from repro.core.circuit import Circuit, Operation, OpKind
+from repro.errors import CircuitError
+
+
+class TestOperation:
+    def test_gate_operation(self):
+        op = Operation(kind=OpKind.GATE, wires=(0, 1), gate=library.CNOT)
+        assert op.is_gate and not op.is_reset
+        assert op.label == "CNOT"
+
+    def test_reset_operation(self):
+        op = Operation(kind=OpKind.RESET, wires=(3, 4, 5))
+        assert op.is_reset
+        assert op.label == "RESET"
+
+    def test_rejects_duplicate_wires(self):
+        with pytest.raises(CircuitError):
+            Operation(kind=OpKind.GATE, wires=(0, 0), gate=library.CNOT)
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(CircuitError):
+            Operation(kind=OpKind.GATE, wires=(0,), gate=library.CNOT)
+
+    def test_rejects_gate_on_reset(self):
+        with pytest.raises(CircuitError):
+            Operation(kind=OpKind.RESET, wires=(0,), gate=library.X)
+
+    def test_rejects_bad_reset_value(self):
+        with pytest.raises(CircuitError):
+            Operation(kind=OpKind.RESET, wires=(0,), reset_value=2)
+
+    def test_rejects_empty_wires(self):
+        with pytest.raises(CircuitError):
+            Operation(kind=OpKind.RESET, wires=())
+
+    def test_remap(self):
+        op = Operation(kind=OpKind.GATE, wires=(0, 1), gate=library.CNOT)
+        assert op.remapped({0: 5, 1: 2}).wires == (5, 2)
+
+    def test_remap_missing_wire(self):
+        op = Operation(kind=OpKind.GATE, wires=(0, 1), gate=library.CNOT)
+        with pytest.raises(CircuitError):
+            op.remapped({0: 5})
+
+
+class TestConstruction:
+    def test_fluent_building(self):
+        circuit = Circuit(3).cnot(0, 1).cnot(0, 2).toffoli(1, 2, 0)
+        assert len(circuit) == 3
+        assert [op.label for op in circuit] == ["CNOT", "CNOT", "TOFFOLI"]
+
+    def test_wire_range_validated(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).toffoli(0, 1, 2)
+
+    def test_zero_wires_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_named_helpers(self):
+        circuit = (
+            Circuit(4)
+            .x(0)
+            .swap(0, 1)
+            .fredkin(0, 1, 2)
+            .swap3_down(0, 1, 2)
+            .swap3_up(1, 2, 3)
+            .maj(0, 1, 2)
+            .maj_inv(1, 2, 3)
+        )
+        assert circuit.count_ops()["MAJ"] == 1
+        assert circuit.count_ops()["MAJ⁻¹"] == 1
+
+    def test_reset_helper(self):
+        circuit = Circuit(3).append_reset(0, 1, 2, value=1)
+        assert circuit.ops[0].reset_value == 1
+        assert circuit.has_resets
+
+
+class TestSequenceBehaviour:
+    def test_indexing_and_slicing(self):
+        circuit = Circuit(3).x(0).x(1).x(2)
+        assert circuit[1].wires == (1,)
+        sliced = circuit[1:]
+        assert isinstance(sliced, Circuit)
+        assert len(sliced) == 2
+
+    def test_copy_is_independent(self):
+        circuit = Circuit(2).x(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert len(circuit) == 1
+        assert len(clone) == 2
+
+
+class TestAlgebra:
+    def test_concatenation(self):
+        left = Circuit(2).x(0)
+        right = Circuit(2).x(1)
+        assert [op.wires for op in left + right] == [(0,), (1,)]
+
+    def test_concatenation_requires_same_width(self):
+        with pytest.raises(CircuitError):
+            Circuit(2) + Circuit(3)
+
+    def test_inverse_reverses_and_inverts(self):
+        circuit = Circuit(3).maj(0, 1, 2).cnot(0, 1)
+        inverse = circuit.inverse()
+        assert [op.label for op in inverse] == ["CNOT", "MAJ⁻¹"]
+
+    def test_inverse_rejects_resets(self):
+        with pytest.raises(CircuitError):
+            Circuit(3).append_reset(0).inverse()
+
+    def test_remap(self):
+        circuit = Circuit(2).cnot(0, 1)
+        remapped = circuit.remap({0: 2, 1: 0}, n_wires=3)
+        assert remapped.ops[0].wires == (2, 0)
+        assert remapped.n_wires == 3
+
+    def test_remap_sequence_form(self):
+        circuit = Circuit(2).cnot(0, 1)
+        remapped = circuit.remap([1, 0], n_wires=2)
+        assert remapped.ops[0].wires == (1, 0)
+
+    def test_tensor(self):
+        left = Circuit(2).cnot(0, 1)
+        right = Circuit(2).swap(0, 1)
+        combined = left.tensor(right)
+        assert combined.n_wires == 4
+        assert combined.ops[1].wires == (2, 3)
+
+    def test_repeated(self):
+        circuit = Circuit(1).x(0).repeated(3)
+        assert len(circuit) == 3
+
+    def test_repeated_rejects_negative(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).x(0).repeated(-1)
+
+
+class TestCensus:
+    def test_count_ops(self):
+        circuit = Circuit(9)
+        circuit.append_reset(3, 4, 5).append_reset(6, 7, 8)
+        circuit.maj_inv(0, 3, 6).maj(0, 1, 2)
+        counts = circuit.count_ops()
+        assert counts["RESET"] == 2
+        assert counts["MAJ⁻¹"] == 1
+        assert counts["MAJ"] == 1
+
+    def test_gate_count_excluding_resets(self):
+        circuit = Circuit(3).append_reset(0).x(1)
+        assert circuit.gate_count() == 2
+        assert circuit.gate_count(include_resets=False) == 1
+
+    def test_wires_touched(self):
+        circuit = Circuit(5).cnot(0, 3)
+        assert circuit.wires_touched() == frozenset({0, 3})
+
+    def test_ops_touching(self):
+        circuit = Circuit(3).x(0).cnot(0, 1).x(2)
+        assert circuit.ops_touching(0) == (0, 1)
+        assert circuit.ops_touching(2) == (2,)
+
+    def test_depth_parallel_ops(self):
+        circuit = Circuit(4).x(0).x(1).cnot(0, 1).x(2)
+        # x(0) and x(1) and x(2) parallel; cnot after the first two.
+        assert circuit.depth() == 2
+
+    def test_depth_serial_chain(self):
+        circuit = Circuit(2).cnot(0, 1).cnot(0, 1).cnot(0, 1)
+        assert circuit.depth() == 3

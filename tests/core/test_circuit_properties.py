@@ -1,0 +1,122 @@
+"""Property-based laws of circuit algebra.
+
+These pin down the semantics that every other layer builds on: circuit
+concatenation is composition of actions, inversion really inverts,
+remapping commutes with evaluation, and tensoring acts independently on
+the two halves.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import library
+from repro.core.bits import index_to_bits
+from repro.core.circuit import Circuit
+from repro.core.truth_table import circuit_permutation
+
+_GATES = [
+    library.X,
+    library.CNOT,
+    library.SWAP,
+    library.TOFFOLI,
+    library.MAJ,
+    library.MAJ_INV,
+    library.FREDKIN,
+    library.SWAP3_DOWN,
+]
+
+
+@st.composite
+def circuits(draw, n_wires: int = 4, max_ops: int = 8) -> Circuit:
+    circuit = Circuit(n_wires)
+    for _ in range(draw(st.integers(0, max_ops))):
+        gate = draw(st.sampled_from(_GATES))
+        wires = draw(
+            st.permutations(list(range(n_wires))).map(lambda p: p[: gate.arity])
+        )
+        circuit.append_gate(gate, *wires)
+    return circuit
+
+
+class TestCompositionLaws:
+    @given(circuits(), circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_concatenation_composes_actions(self, left, right):
+        combined = circuit_permutation(left + right)
+        sequential = circuit_permutation(right).compose(circuit_permutation(left))
+        assert combined == sequential
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_annihilates(self, circuit):
+        assert circuit_permutation(circuit + circuit.inverse()).is_identity()
+        assert circuit_permutation(circuit.inverse() + circuit).is_identity()
+
+    @given(circuits(), circuits(), circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_concatenation_associative(self, a, b, c):
+        assert circuit_permutation((a + b) + c) == circuit_permutation(a + (b + c))
+
+    @given(circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_double_inverse_restores_action(self, circuit):
+        assert circuit_permutation(circuit.inverse().inverse()) == circuit_permutation(
+            circuit
+        )
+
+
+class TestRemapLaws:
+    @given(circuits(), st.permutations(list(range(4))), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_remap_commutes_with_evaluation(self, circuit, wire_map, packed):
+        """Evaluating a remapped circuit = permuting wires around evaluation."""
+        from repro.core.simulator import run
+
+        remapped = circuit.remap(list(wire_map), n_wires=4)
+        input_bits = index_to_bits(packed, 4)
+        # Input seen through the wire map: new wire wire_map[i] carries
+        # what old wire i carried.
+        permuted_input = [0] * 4
+        for old, new in enumerate(wire_map):
+            permuted_input[new] = input_bits[old]
+        direct = run(remapped, tuple(permuted_input))
+        original = run(circuit, input_bits)
+        for old, new in enumerate(wire_map):
+            assert direct[new] == original[old]
+
+
+class TestTensorLaws:
+    @given(circuits(n_wires=3, max_ops=5), circuits(n_wires=3, max_ops=5))
+    @settings(max_examples=30, deadline=None)
+    def test_tensor_acts_independently(self, top, bottom):
+        from repro.core.simulator import run
+
+        combined = top.tensor(bottom)
+        for packed in (0, 21, 63):
+            bits = index_to_bits(packed, 6)
+            joint = run(combined, bits)
+            assert joint[:3] == run(top, bits[:3])
+            assert joint[3:] == run(bottom, bits[3:])
+
+    @given(circuits(n_wires=3, max_ops=4))
+    @settings(max_examples=20, deadline=None)
+    def test_tensor_with_empty_is_padding(self, circuit):
+        padded = circuit.tensor(Circuit(2))
+        assert padded.n_wires == 5
+        assert len(padded) == len(circuit)
+
+
+class TestDepthProperties:
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_depth_bounded_by_length(self, circuit):
+        assert circuit.depth() <= len(circuit)
+        if len(circuit):
+            assert circuit.depth() >= 1
+
+    @given(circuits(), circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_depth_subadditive_under_concatenation(self, a, b):
+        assert (a + b).depth() <= a.depth() + b.depth()

@@ -1,0 +1,122 @@
+"""Unit and property tests for repro.core.permutation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.permutation import Permutation, permutation_distance
+from repro.errors import GateDefinitionError
+
+permutations = st.permutations(list(range(8))).map(lambda p: Permutation(tuple(p)))
+small_permutations = st.integers(1, 7).flatmap(
+    lambda n: st.permutations(list(range(n))).map(lambda p: Permutation(tuple(p)))
+)
+
+
+class TestConstruction:
+    def test_identity(self):
+        identity = Permutation.identity(4)
+        assert identity.mapping == (0, 1, 2, 3)
+        assert identity.is_identity()
+
+    def test_rejects_repeats(self):
+        with pytest.raises(GateDefinitionError):
+            Permutation((0, 0, 1))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GateDefinitionError):
+            Permutation((0, 3))
+
+    def test_from_cycles(self):
+        perm = Permutation.from_cycles(4, [(0, 1, 2)])
+        assert perm.mapping == (1, 2, 0, 3)
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(GateDefinitionError):
+            Permutation.from_cycles(4, [(0, 1), (1, 2)])
+
+
+class TestGroupLaws:
+    @given(small_permutations)
+    def test_inverse_composes_to_identity(self, perm):
+        assert perm.compose(perm.inverse()).is_identity()
+        assert perm.inverse().compose(perm).is_identity()
+
+    @given(permutations, permutations, permutations)
+    def test_associativity(self, a, b, c):
+        left = a.compose(b).compose(c)
+        right = a.compose(b.compose(c))
+        assert left == right
+
+    @given(permutations)
+    def test_then_is_reverse_of_compose(self, perm):
+        other = Permutation.from_cycles(8, [(0, 7)])
+        assert perm.then(other) == other.compose(perm)
+
+    @given(small_permutations)
+    def test_double_inverse(self, perm):
+        assert perm.inverse().inverse() == perm
+
+
+class TestStructure:
+    def test_cycles_of_identity_empty(self):
+        assert Permutation.identity(5).cycles() == []
+
+    def test_cycles_with_fixed_points(self):
+        perm = Permutation((1, 0, 2))
+        assert perm.cycles() == [(0, 1)]
+        assert perm.cycles(include_fixed_points=True) == [(0, 1), (2,)]
+
+    def test_fixed_points(self):
+        perm = Permutation((1, 0, 2, 3))
+        assert perm.fixed_points() == (2, 3)
+
+    @given(small_permutations)
+    def test_order_annihilates(self, perm):
+        assert (perm ** perm.order()).is_identity()
+
+    def test_parity_of_transposition(self):
+        assert Permutation.from_cycles(4, [(0, 1)]).parity() == 1
+
+    def test_parity_of_three_cycle(self):
+        assert Permutation.from_cycles(4, [(0, 1, 2)]).parity() == 0
+
+    @given(permutations, permutations)
+    def test_parity_is_a_homomorphism(self, a, b):
+        assert a.compose(b).parity() == (a.parity() + b.parity()) % 2
+
+    def test_inversions_of_paper_line(self):
+        # The Figure-7 line order has exactly nine inversions = SWAPs.
+        perm = Permutation((0, 3, 6, 1, 4, 7, 2, 5, 8))
+        assert perm.inversions() == 9
+
+    @given(small_permutations)
+    def test_inversions_parity_matches_permutation_parity(self, perm):
+        assert perm.inversions() % 2 == perm.parity()
+
+
+class TestPower:
+    @given(permutations, st.integers(-5, 10))
+    def test_power_definition(self, perm, exponent):
+        expected = Permutation.identity(8)
+        base = perm if exponent >= 0 else perm.inverse()
+        for _ in range(abs(exponent)):
+            expected = base.compose(expected)
+        assert perm**exponent == expected
+
+
+class TestDistance:
+    def test_distance_zero_for_equal(self):
+        perm = Permutation((1, 0, 2))
+        assert permutation_distance(perm, perm) == 0
+
+    def test_distance_counts_disagreements(self):
+        a = Permutation((0, 1, 2))
+        b = Permutation((1, 0, 2))
+        assert permutation_distance(a, b) == 2
+
+    def test_distance_rejects_size_mismatch(self):
+        with pytest.raises(GateDefinitionError):
+            permutation_distance(Permutation((0, 1)), Permutation((0, 1, 2)))

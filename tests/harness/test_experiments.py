@@ -1,0 +1,58 @@
+"""Every registered experiment must run and match the paper."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiments import REGISTRY, run_experiment, trial_budget
+
+EXPECTED_IDS = {
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "thresholds",
+    "blowup",
+    "entropy",
+    "nand-cost",
+    "baseline",
+    "mc-threshold",
+}
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        assert set(REGISTRY) == EXPECTED_IDS
+
+    def test_unknown_id_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_experiment("fig99")
+
+    def test_trial_budget_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "123")
+        assert trial_budget() == 123
+
+    def test_metadata_complete(self):
+        for experiment in REGISTRY.values():
+            assert experiment.paper_ref
+            assert experiment.description
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+def test_experiment_matches_paper(experiment_id, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_TRIALS", os.environ.get("REPRO_TRIALS", "15000")
+    )
+    result = run_experiment(experiment_id)
+    failing = [row for row in result.rows if not row[3]]
+    assert result.all_match, f"{experiment_id}: mismatched rows {failing}"
+    assert result.rows, "experiment produced no comparison rows"

@@ -1,0 +1,69 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.stats import RateEstimate, required_trials, wilson_interval
+from repro.errors import AnalysisError
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_zero_successes_lower_bound_zero(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0
+        assert high > 0.0
+
+    def test_all_successes_upper_bound_one(self):
+        low, high = wilson_interval(100, 100)
+        assert high == 1.0
+        assert low < 1.0
+
+    @given(st.integers(1, 10000), st.data())
+    def test_interval_well_formed(self, trials, data):
+        successes = data.draw(st.integers(0, trials))
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(st.integers(1, 50))
+    def test_narrows_with_more_trials(self, successes):
+        low_small, high_small = wilson_interval(successes, 100)
+        low_big, high_big = wilson_interval(successes * 100, 10000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 0)
+        with pytest.raises(AnalysisError):
+            wilson_interval(11, 10)
+
+
+class TestRateEstimate:
+    def test_rate(self):
+        estimate = RateEstimate(failures=25, trials=100)
+        assert estimate.rate == 0.25
+
+    def test_compatibility(self):
+        estimate = RateEstimate(failures=25, trials=100)
+        assert estimate.compatible_with(0.25)
+        assert not estimate.compatible_with(0.9)
+
+
+class TestRequiredTrials:
+    def test_rarer_events_need_more_trials(self):
+        assert required_trials(1e-4) > required_trials(1e-2)
+
+    def test_tighter_precision_needs_more_trials(self):
+        assert required_trials(0.01, 0.01) > required_trials(0.01, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            required_trials(0.0)
+        with pytest.raises(AnalysisError):
+            required_trials(0.5, relative_error=0.0)

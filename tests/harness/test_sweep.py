@@ -1,0 +1,43 @@
+"""Tests for sweep utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.sweep import SweepResult, crossing_index, geometric_grid, sweep
+
+
+class TestSweep:
+    def test_pairs(self):
+        result = sweep(lambda x: x * x, [1, 2, 3], parameter="g")
+        assert result.rows() == [(1, 1), (2, 4), (3, 9)]
+        assert result.parameter == "g"
+        assert len(result) == 3
+
+    def test_empty(self):
+        assert sweep(lambda x: x, []).rows() == []
+
+
+class TestGeometricGrid:
+    def test_endpoints(self):
+        grid = geometric_grid(1e-4, 1e-2, 5)
+        assert grid[0] == pytest.approx(1e-4)
+        assert grid[-1] == pytest.approx(1e-2)
+
+    def test_constant_ratio(self):
+        grid = geometric_grid(1.0, 16.0, 5)
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_single_point(self):
+        assert geometric_grid(3.0, 9.0, 1) == [3.0]
+
+
+class TestCrossing:
+    def test_finds_first_crossing(self):
+        xs = [0.001, 0.01, 0.1]
+        ys = [0.0001, 0.02, 0.5]
+        assert crossing_index(xs, ys) == 1
+
+    def test_none_when_always_below(self):
+        assert crossing_index([0.1, 0.2], [0.01, 0.02]) is None

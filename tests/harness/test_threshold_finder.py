@@ -1,0 +1,53 @@
+"""Tests for pseudo-threshold estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.threshold import threshold
+from repro.harness.threshold_finder import (
+    find_pseudo_threshold,
+    logical_error_per_cycle,
+)
+from repro.errors import AnalysisError
+
+
+class TestLogicalErrorPerCycle:
+    def test_zero_noise_zero_error(self):
+        rate, failures = logical_error_per_cycle(0.0, trials=200, seed=0)
+        assert rate == 0.0 and failures == 0
+
+    def test_below_threshold_improves_on_physical(self):
+        g = 1e-3  # well below rho = 1/165
+        rate, _ = logical_error_per_cycle(g, trials=30000, seed=1)
+        assert rate < g
+
+    def test_far_above_threshold_is_worse_than_physical(self):
+        g = 0.08
+        rate, _ = logical_error_per_cycle(g, trials=4000, seed=2)
+        assert rate > g
+
+    def test_cycles_validated(self):
+        with pytest.raises(AnalysisError):
+            logical_error_per_cycle(0.01, trials=10, cycles=0)
+
+
+class TestBisection:
+    def test_finds_analytic_crossing(self):
+        # On the closed-form map the crossing is exactly rho.
+        from repro.analysis.recursion import one_level
+
+        result = find_pseudo_threshold(
+            lambda g: one_level(g, 11), lower=1e-4, upper=0.5, iterations=30
+        )
+        assert result.estimate == pytest.approx(threshold(11), rel=1e-4)
+
+    def test_bracket_validation(self):
+        with pytest.raises(AnalysisError):
+            find_pseudo_threshold(lambda g: g * 0.5, lower=0.1, upper=0.2)
+        with pytest.raises(AnalysisError):
+            find_pseudo_threshold(lambda g: g * 2.0, lower=0.1, upper=0.2)
+
+    def test_bracket_ordering_validated(self):
+        with pytest.raises(AnalysisError):
+            find_pseudo_threshold(lambda g: g, lower=0.5, upper=0.1)

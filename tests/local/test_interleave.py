@@ -1,0 +1,117 @@
+"""Tests for the interleaving schedules (Figures 4 and 6)."""
+
+from __future__ import annotations
+
+from repro.local.interleave import (
+    interleave_1d_schedule,
+    one_d_cycle_operation_count,
+    one_d_initial_line,
+    parallel_2d_schedule,
+    perpendicular_2d_schedule,
+)
+from repro.local.routing import apply_swap_schedule
+
+
+class TestParallel2D:
+    def test_nine_swaps(self):
+        _, report = parallel_2d_schedule()
+        assert report.total_swaps == 9
+
+    def test_at_most_six_per_codeword(self):
+        _, report = parallel_2d_schedule()
+        assert report.max_swaps_per_codeword <= 6
+
+    def test_three_swap3_per_codeword(self):
+        _, report = parallel_2d_schedule()
+        assert report.max_swap3_per_codeword == 3
+
+    def test_final_order_interleaved(self):
+        _, report = parallel_2d_schedule()
+        kinds = [(token[2], token[1]) for token in report.final_line]
+        assert kinds == sorted(kinds)
+
+    def test_schedule_actually_produces_final_line(self):
+        swaps, report = parallel_2d_schedule()
+        line = [("data", j, i) for j in range(3) for i in range(3)]
+        apply_swap_schedule(line, swaps)
+        assert tuple(line) == report.final_line
+
+
+class TestPerpendicular2D:
+    def test_twelve_swaps(self):
+        _, report = perpendicular_2d_schedule()
+        assert report.total_swaps == 12
+
+    def test_middle_codeword_untouched(self):
+        _, report = perpendicular_2d_schedule()
+        assert report.swaps_per_codeword[1] == 0
+
+    def test_outer_codewords_six_each(self):
+        _, report = perpendicular_2d_schedule()
+        assert report.swaps_per_codeword[0] == 6
+        assert report.swaps_per_codeword[2] == 6
+
+    def test_swaps_are_horizontal_neighbours(self):
+        swaps, _ = perpendicular_2d_schedule()
+        for (r1, c1), (r2, c2) in swaps:
+            assert r1 == r2 and abs(c1 - c2) == 1
+
+
+class TestOneD:
+    def test_total_is_45(self):
+        _, report = interleave_1d_schedule()
+        assert report.total_swaps == 45
+
+    def test_move_breakdown_matches_paper(self):
+        # "8 for the last bit, 7 for the second bit, 6 for the first"
+        # and "10 for the first bit, 8 for the second, and 6 for the
+        # last".
+        _, report = interleave_1d_schedule()
+        assert report.move_breakdown[0] == (8, 7, 6)
+        assert report.move_breakdown[2] == (10, 8, 6)
+        assert report.move_swaps_per_codeword == (21, 0, 24)
+
+    def test_at_most_24_swaps_act_on_a_single_codeword(self):
+        # Touch counting (including being swapped past) also respects
+        # the paper's "at most 24 act on a single bit".
+        _, report = interleave_1d_schedule()
+        assert report.max_swaps_per_codeword == 24
+
+    def test_twelve_swap3_per_codeword(self):
+        _, report = interleave_1d_schedule()
+        assert report.max_swap3_per_codeword == 12
+
+    def test_initial_line_structure(self):
+        line = one_d_initial_line()
+        assert len(line) == 27
+        data_positions = [
+            index for index, token in enumerate(line) if token[0] == "data"
+        ]
+        assert data_positions == [0, 3, 6, 9, 12, 15, 18, 21, 24]
+
+    def test_transversal_triples_contiguous_after_interleave(self):
+        _, report = interleave_1d_schedule()
+        line = list(report.final_line)
+        for index in range(3):
+            positions = sorted(
+                line.index(("data", codeword, index)) for codeword in range(3)
+            )
+            assert positions[2] - positions[0] == 2
+
+    def test_schedule_is_adjacent_swaps(self):
+        swaps, _ = interleave_1d_schedule()
+        for low, high in swaps:
+            assert high == low + 1
+
+    def test_uninterleave_by_reversal(self):
+        swaps, report = interleave_1d_schedule()
+        line = list(report.final_line)
+        for low, high in reversed(swaps):
+            line[low], line[high] = line[high], line[low]
+        assert line == one_d_initial_line()
+
+
+class TestCycleCounts:
+    def test_paper_g_values(self):
+        assert one_d_cycle_operation_count(include_init=True) == 40
+        assert one_d_cycle_operation_count(include_init=False) == 38

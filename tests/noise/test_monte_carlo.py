@@ -1,0 +1,120 @@
+"""Tests for the vectorised Monte-Carlo engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import library
+from repro.core.circuit import Circuit
+from repro.core.simulator import BatchedState
+from repro.noise.model import NoiseModel
+from repro.noise.monte_carlo import (
+    NoisyRunner,
+    any_wire_differs_predicate,
+    estimate_failure_probability,
+    repetition_failure_predicate,
+)
+from repro.errors import SimulationError
+
+
+class TestNoisyRunner:
+    def test_zero_noise_is_deterministic(self):
+        circuit = Circuit(3).maj(0, 1, 2)
+        runner = NoisyRunner(NoiseModel.noiseless(), seed=0)
+        result = runner.run_from_input(circuit, (1, 0, 1), trials=50)
+        assert (result.states.array == np.array([1, 1, 0], dtype=np.uint8)).all()
+        assert result.fraction_with_faults() == 0.0
+
+    def test_full_noise_randomises(self):
+        circuit = Circuit(2).cnot(0, 1)
+        runner = NoisyRunner(NoiseModel(gate_error=1.0), seed=0)
+        result = runner.run_from_input(circuit, (0, 0), trials=4000)
+        assert result.fraction_with_faults() == 1.0
+        # Uniform over 4 patterns: each wire is ~half ones.
+        means = result.states.array.mean(axis=0)
+        assert np.allclose(means, 0.5, atol=0.05)
+
+    def test_fault_rate_matches_g(self):
+        circuit = Circuit(3).maj(0, 1, 2).maj_inv(0, 1, 2)
+        runner = NoisyRunner(NoiseModel(gate_error=0.25), seed=1)
+        result = runner.run_from_input(circuit, (0, 0, 0), trials=20000)
+        mean_faults = result.fault_counts.mean()
+        assert mean_faults == pytest.approx(0.5, rel=0.1)
+
+    def test_reset_error_separate(self):
+        circuit = Circuit(3).append_reset(0, 1, 2)
+        runner = NoisyRunner(
+            NoiseModel(gate_error=1.0, reset_error=0.0), seed=2
+        )
+        result = runner.run_from_input(circuit, (1, 1, 1), trials=100)
+        assert (result.states.array == 0).all()
+
+    def test_reset_faults_randomise(self):
+        circuit = Circuit(3).append_reset(0, 1, 2)
+        runner = NoisyRunner(NoiseModel(gate_error=0.0, reset_error=1.0), seed=3)
+        result = runner.run_from_input(circuit, (1, 1, 1), trials=4000)
+        assert 0.4 < result.states.array.mean() < 0.6
+
+    def test_seeded_reproducibility(self):
+        circuit = Circuit(3).maj(0, 1, 2)
+        first = NoisyRunner(NoiseModel(gate_error=0.3), seed=7).run_from_input(
+            circuit, (1, 0, 1), 500
+        )
+        second = NoisyRunner(NoiseModel(gate_error=0.3), seed=7).run_from_input(
+            circuit, (1, 0, 1), 500
+        )
+        assert (first.states.array == second.states.array).all()
+
+    def test_width_mismatch_rejected(self):
+        runner = NoisyRunner(NoiseModel.noiseless())
+        with pytest.raises(SimulationError):
+            runner.run(Circuit(3), BatchedState.zeros(2, 10))
+
+    def test_generator_can_be_shared(self):
+        rng = np.random.default_rng(0)
+        runner = NoisyRunner(NoiseModel(gate_error=0.1), seed=rng)
+        assert runner.rng is rng
+
+
+class TestEstimation:
+    def test_estimate_counts_failures(self):
+        circuit = Circuit(3).maj(0, 1, 2)
+        rate, count = estimate_failure_probability(
+            circuit,
+            (1, 0, 1),
+            any_wire_differs_predicate((0, 1, 2), library.MAJ.apply((1, 0, 1))),
+            NoiseModel.noiseless(),
+            trials=100,
+            seed=0,
+        )
+        assert rate == 0.0 and count == 0
+
+    def test_estimate_with_noise_is_positive(self):
+        circuit = Circuit(3).maj(0, 1, 2)
+        rate, count = estimate_failure_probability(
+            circuit,
+            (1, 0, 1),
+            any_wire_differs_predicate((0, 1, 2), library.MAJ.apply((1, 0, 1))),
+            NoiseModel(gate_error=0.5),
+            trials=2000,
+            seed=0,
+        )
+        # Half the trials fault; 7/8 of faults corrupt the state.
+        assert rate == pytest.approx(0.5 * 7 / 8, rel=0.15)
+
+    def test_predicate_shape_validated(self):
+        circuit = Circuit(1).x(0)
+        with pytest.raises(SimulationError):
+            estimate_failure_probability(
+                circuit,
+                (0,),
+                lambda states: np.zeros((2, 2), dtype=bool),
+                NoiseModel.noiseless(),
+                trials=10,
+            )
+
+    def test_repetition_predicate(self):
+        predicate = repetition_failure_predicate((0, 1, 2), expected=1)
+        states = BatchedState.from_rows([(1, 1, 0), (0, 0, 1), (1, 1, 1)])
+        assert predicate(states).tolist() == [False, True, False]

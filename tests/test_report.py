@@ -1,0 +1,16 @@
+"""The one-command report runner must execute and pass."""
+
+from __future__ import annotations
+
+import repro.report
+
+
+def test_report_main_runs_all_experiments(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_TRIALS", "8000")
+    exit_code = repro.report.main()
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "all 15 experiments match the paper" in captured
+    # Every experiment id appears in the output.
+    for experiment_id in ("table1", "table2", "fig7", "nand-cost"):
+        assert experiment_id in captured
