@@ -77,16 +77,18 @@ def simulate_unprotected(
     trials: int,
     seed: int | np.random.Generator | None = None,
     n_wires: int = 3,
+    engine: str = "auto",
 ) -> float:
     """Monte-Carlo module error of an unprotected identity module.
 
     Returns the fraction of trials whose output differs from the
     input anywhere — the empirical ``1 - (1-g)**T`` (slightly below it,
-    since a fault can be silent or cancelled).
+    since a fault can be silent or cancelled).  ``engine`` selects the
+    Monte-Carlo backend (see :mod:`repro.noise.monte_carlo`).
     """
     circuit = identity_module(module_gates, n_wires)
     input_bits = tuple(i % 2 for i in range(n_wires))
-    runner = NoisyRunner(NoiseModel(gate_error=gate_error), seed)
+    runner = NoisyRunner(NoiseModel(gate_error=gate_error), seed, engine=engine)
     result = runner.run_from_input(circuit, input_bits, trials)
     expected = np.asarray(input_bits, dtype=np.uint8)
     failures = (result.states.array != expected).any(axis=1)

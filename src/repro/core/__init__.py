@@ -26,6 +26,8 @@ from repro.core.library import (
     TOFFOLI,
     X,
 )
+from repro.core.bitplane import BitplaneState, run_bitplane
+from repro.core.compiled import CompiledCircuit, gate_plane_program
 from repro.core.permutation import Permutation
 from repro.core.simulator import BatchedState, apply_gate, run, run_batched
 from repro.core.truth_table import (
@@ -63,9 +65,13 @@ __all__ = [
     "X",
     "Permutation",
     "BatchedState",
+    "BitplaneState",
+    "CompiledCircuit",
+    "gate_plane_program",
     "apply_gate",
     "run",
     "run_batched",
+    "run_bitplane",
     "circuit_gate",
     "circuit_permutation",
     "format_truth_table",

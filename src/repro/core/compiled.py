@@ -1,0 +1,210 @@
+"""Lowering reversible circuits into bit-parallel boolean programs.
+
+A :class:`~repro.core.gate.Gate` is a permutation table; a bit-plane
+engine wants each *output wire* of the gate expressed as a boolean
+function of the *input wires*, so one gate application becomes a
+handful of vectorised AND/OR/XOR/NOT operations on whole 64-trial
+words.  This module performs that lowering once per gate:
+
+* :func:`gate_plane_program` converts a gate's truth table into one
+  *plane expression* per output position — a wire copy, an XOR-affine
+  form (``c ^ x_i ^ x_j ...``, which covers X/CNOT/SWAP exactly), or a
+  sum-of-minterms fallback that handles any gate of small arity;
+* :class:`CompiledCircuit` flattens a :class:`~repro.core.circuit.Circuit`
+  into a schedule of :class:`CompiledOp` records with the plane program,
+  reset constants, and fault-injection metadata (the touched wires and
+  whether the op draws the gate or the reset error rate) precomputed, so
+  the Monte-Carlo inner loop does no per-op Python analysis.
+
+The compiled schedule is engine-agnostic data; it is executed by
+:class:`~repro.core.bitplane.BitplaneState` (which stores 64 trials per
+uint64 word), but the expressions themselves are plain tuples and could
+drive any bitwise backend.
+
+Plane-expression forms (tagged tuples):
+
+``("copy", i)``
+    output equals input position ``i`` unchanged;
+``("affine", invert, positions)``
+    output is the XOR of the input positions, complemented when
+    ``invert`` is true;
+``("dnf", minterms)``
+    output is the OR over ``minterms`` (packed input patterns, wire 0
+    of the gate most significant) of the full AND of matched literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.core.gate import Gate
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.bitplane import BitplaneState
+
+#: A full uint64 word of ones — the bit-plane "True" constant.
+ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+PlaneExpr = tuple
+
+
+def _input_bit(pattern: int, arity: int, position: int) -> int:
+    """Bit of ``pattern`` at wire ``position`` (position 0 = MSB)."""
+    return (pattern >> (arity - 1 - position)) & 1
+
+
+def _try_affine(outputs: list[int], arity: int) -> PlaneExpr | None:
+    """An affine-over-GF(2) expression for the output column, if any."""
+    constant = outputs[0]
+    positions = [
+        i for i in range(arity)
+        if outputs[1 << (arity - 1 - i)] != constant
+    ]
+    for pattern in range(1 << arity):
+        parity = constant
+        for i in positions:
+            parity ^= _input_bit(pattern, arity, i)
+        if parity != outputs[pattern]:
+            return None
+    if constant == 0 and len(positions) == 1:
+        return ("copy", positions[0])
+    return ("affine", bool(constant), tuple(positions))
+
+
+@lru_cache(maxsize=None)
+def gate_plane_program(gate: Gate) -> tuple[PlaneExpr, ...]:
+    """One plane expression per output position of ``gate``.
+
+    Cached per gate object (gates are frozen and hashable); the library
+    gates therefore compile exactly once per process.
+    """
+    arity, table = gate.arity, gate.table
+    program = []
+    for position in range(arity):
+        outputs = [
+            _input_bit(table[pattern], arity, position)
+            for pattern in range(1 << arity)
+        ]
+        expression = _try_affine(outputs, arity)
+        if expression is None:
+            expression = (
+                "dnf",
+                tuple(p for p, bit in enumerate(outputs) if bit),
+            )
+        program.append(expression)
+    return tuple(program)
+
+
+def apply_plane_program(
+    program: tuple[PlaneExpr, ...], planes: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Evaluate a gate's plane program on input planes.
+
+    ``planes[i]`` holds the packed bits of the wire at gate position
+    ``i``.  Returns freshly allocated output planes (never aliases the
+    inputs, so callers may write them back over the input rows in any
+    order).
+    """
+    arity = len(planes)
+    negated: dict[int, np.ndarray] = {}
+
+    def complement(position: int) -> np.ndarray:
+        if position not in negated:
+            negated[position] = ~planes[position]
+        return negated[position]
+
+    outputs = []
+    for expression in program:
+        tag = expression[0]
+        if tag == "copy":
+            outputs.append(planes[expression[1]].copy())
+        elif tag == "affine":
+            invert, positions = expression[1], expression[2]
+            if positions:
+                accumulator = planes[positions[0]].copy()
+                for position in positions[1:]:
+                    accumulator ^= planes[position]
+            else:  # constant output: impossible for reversible gates
+                accumulator = np.zeros_like(planes[0])
+            if invert:
+                np.invert(accumulator, out=accumulator)
+            outputs.append(accumulator)
+        else:  # "dnf"
+            accumulator = np.zeros_like(planes[0])
+            for pattern in expression[1]:
+                term = np.full_like(planes[0], ALL_ONES)
+                for position in range(arity):
+                    if _input_bit(pattern, arity, position):
+                        term &= planes[position]
+                    else:
+                        term &= complement(position)
+                accumulator |= term
+            outputs.append(accumulator)
+    return outputs
+
+
+@dataclass(frozen=True)
+class CompiledOp:
+    """One schedule slot: a lowered gate or a reset, plus fault metadata.
+
+    ``wires`` doubles as the fault-injection point — a failing op
+    randomises exactly these wires — and ``is_reset`` selects which
+    error rate of the noise model applies.
+    """
+
+    wires: tuple[int, ...]
+    is_reset: bool
+    reset_value: int = 0
+    program: tuple[PlaneExpr, ...] | None = None
+
+
+class CompiledCircuit:
+    """A circuit flattened into a bit-parallel execution schedule."""
+
+    def __init__(self, circuit: Circuit):
+        self.n_wires = circuit.n_wires
+        self.name = circuit.name
+        schedule = []
+        for op in circuit:
+            if op.is_reset:
+                schedule.append(
+                    CompiledOp(op.wires, is_reset=True, reset_value=op.reset_value)
+                )
+            else:
+                assert op.gate is not None
+                schedule.append(
+                    CompiledOp(
+                        op.wires,
+                        is_reset=False,
+                        program=gate_plane_program(op.gate),
+                    )
+                )
+        self.schedule: tuple[CompiledOp, ...] = tuple(schedule)
+
+    def __len__(self) -> int:
+        return len(self.schedule)
+
+    def run(self, state: "BitplaneState") -> "BitplaneState":
+        """Run the schedule noiselessly, mutating and returning ``state``."""
+        if state.n_wires != self.n_wires:
+            raise SimulationError(
+                f"bit-plane state has {state.n_wires} wires but compiled "
+                f"circuit has {self.n_wires}"
+            )
+        for op in self.schedule:
+            if op.is_reset:
+                state.reset(op.wires, op.reset_value)
+            else:
+                assert op.program is not None
+                state.apply_program(op.program, op.wires)
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"CompiledCircuit({self.n_wires} wires,{label} {len(self)} ops)"

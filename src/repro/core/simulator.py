@@ -1,16 +1,26 @@
 """Deterministic simulation of reversible circuits.
 
-Two engines are provided:
+Three engines exist, in increasing order of speed:
 
 * :func:`run` — a single-state reference simulator on Python tuples,
   used for exhaustive proofs and anywhere clarity beats speed;
-* :class:`BatchedState` — a NumPy engine holding ``(trials, wires)``
-  uint8 states and applying each gate through a lookup table, used by
-  the Monte-Carlo noise layer where millions of gate applications per
-  second are needed.
+* :class:`BatchedState` (this module) — a NumPy engine holding
+  ``(trials, wires)`` uint8 states and applying each gate through a
+  lookup table; simple, fully vectorised across trials, and the
+  historical default of the Monte-Carlo noise layer;
+* :class:`~repro.core.bitplane.BitplaneState` — a bit-parallel engine
+  packing 64 trials into each uint64 word and executing gates as the
+  boolean plane programs compiled by :mod:`repro.core.compiled`;
+  10-50x faster than ``BatchedState`` on large batches and selected by
+  the Monte-Carlo layer's ``engine`` flag (see
+  :mod:`repro.noise.monte_carlo`, which also documents the per-engine
+  RNG-stream caveat).
 
-Both engines share the same convention: wire 0 is the most significant
-bit of a packed pattern.
+All engines share the same conventions: wire 0 is the most significant
+bit of a packed pattern, and the observation API (``array``,
+``column``/``columns``, ``majority_of``) is identical, so predicates
+and decoders are engine-agnostic.  ``tests/core/test_engine_equivalence``
+holds the differential suite proving the three engines bit-identical.
 """
 
 from __future__ import annotations
@@ -147,6 +157,8 @@ class BatchedState:
         mask: np.ndarray | None = None,
     ) -> None:
         """Reset wires to ``value`` on every trial (or only masked trials)."""
+        if not len(wires):
+            raise SimulationError("reset requires at least one wire")
         if mask is None:
             self.array[:, list(wires)] = value
         else:
@@ -196,6 +208,8 @@ class BatchedState:
 
     def majority_of(self, wires: Sequence[int]) -> np.ndarray:
         """Per-trial majority vote over the selected wires."""
+        if not len(wires):
+            raise SimulationError("majority requires at least one wire")
         if len(wires) % 2 == 0:
             raise SimulationError("majority requires an odd number of wires")
         selected = self.columns(wires)

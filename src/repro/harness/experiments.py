@@ -6,8 +6,14 @@ suite runs these functions and prints the comparisons; EXPERIMENTS.md
 is the curated record of their output.
 
 Monte-Carlo experiments read their trial budget from the environment
-variable ``REPRO_TRIALS`` (default 30000) so CI-speed and
-high-precision runs use the same code.
+variable ``REPRO_TRIALS`` (default 100000) so CI-speed and
+high-precision runs use the same code, and their simulation engine
+from ``REPRO_ENGINE`` (default ``auto``; see
+:mod:`repro.noise.monte_carlo` for the engines and the RNG-stream
+caveat).  The default budget assumes the bit-parallel engine.  One
+exception to the budget: fig2's g^2-scaling row floors its trials at
+30000 regardless of ``REPRO_TRIALS``, because it divides two small
+failure counts and is meaningless below that.
 """
 
 from __future__ import annotations
@@ -89,9 +95,14 @@ from repro.errors import ReproError
 Row = tuple[str, object, object, bool]
 
 
-def trial_budget(default: int = 30000) -> int:
+def trial_budget(default: int = 100000) -> int:
     """Monte-Carlo trial count, overridable via ``REPRO_TRIALS``."""
     return int(os.environ.get("REPRO_TRIALS", default))
+
+
+def engine_choice(default: str = "auto") -> str:
+    """Monte-Carlo engine, overridable via ``REPRO_ENGINE``."""
+    return os.environ.get("REPRO_ENGINE", default)
 
 
 @dataclass
@@ -265,10 +276,14 @@ def experiment_fig2() -> ExperimentResult:
     ops = len(circuit)
     rows.append(("operations incl. initialisation (E)", 8, ops, ops == 8))
 
-    trials = trial_budget()
+    # The g^2-scaling row divides two small failure counts, so it needs
+    # a floor on the trial budget to be statistically meaningful; the
+    # bit-parallel engine makes 30k trials cheap enough to always afford.
+    trials = max(trial_budget(), 30000)
     g_small, g_large = 2.5e-3, 5e-3
-    error_small, _ = logical_error_per_cycle(g_small, trials, seed=11)
-    error_large, _ = logical_error_per_cycle(g_large, trials, seed=12)
+    engine = engine_choice()
+    error_small, _ = logical_error_per_cycle(g_small, trials, seed=11, engine=engine)
+    error_large, _ = logical_error_per_cycle(g_large, trials, seed=12, engine=engine)
     ratio = error_large / error_small if error_small > 0 else float("inf")
     quadratic = 2.0 <= ratio <= 8.0
     rows.append(
@@ -301,14 +316,19 @@ def experiment_fig3() -> ExperimentResult:
             )
         )
 
-    trials = min(trial_budget(), 40000)
+    # Like fig2's scaling row, the strict level-2 < level-1 comparison
+    # divides small failure counts and needs a trial floor to observe
+    # any level-1 failures at all.
+    trials = min(max(trial_budget(), 30000), 100000)
     gate_error = 4e-3
     failures = {}
     for level in (1, 2):
         computation = ConcatenatedComputation(3, level)
         physical = computation.physical_input((1, 0, 1))
         computation.apply(MAJ, 0, 1, 2)
-        runner = NoisyRunner(NoiseModel(gate_error=gate_error), seed=21 + level)
+        runner = NoisyRunner(
+            NoiseModel(gate_error=gate_error), seed=21 + level, engine=engine_choice()
+        )
         result = runner.run_from_input(computation.circuit, physical, trials)
         decoded = computation.decode_batch(result.states)
         expected_bits = np.asarray(MAJ.apply((1, 0, 1)), dtype=np.uint8)
@@ -569,7 +589,7 @@ def experiment_entropy() -> ExperimentResult:
     trials = trial_budget()
     layout = RecoveryLayout.standard()
     circuit = recovery_circuit()
-    runner = NoisyRunner(NoiseModel(gate_error=g), seed=31)
+    runner = NoisyRunner(NoiseModel(gate_error=g), seed=31, engine=engine_choice())
     result = runner.run_from_input(circuit, (1, 1, 1) + (0,) * 6, trials)
     discarded_wires = [w for w in range(9) if w not in layout.advance().data]
     measured = empirical_entropy_from_columns(result.states.columns(discarded_wires))
@@ -656,7 +676,9 @@ def experiment_baseline() -> ExperimentResult:
 
     trials = trial_budget()
     g, module_gates = 1e-3, 500
-    measured = simulate_unprotected(g, module_gates, trials, seed=41)
+    measured = simulate_unprotected(
+        g, module_gates, trials, seed=41, engine=engine_choice()
+    )
     predicted = module_error(g, module_gates)
     close = abs(measured - predicted) < 0.15 * predicted + 0.01
     rows.append(
@@ -688,11 +710,11 @@ def experiment_baseline() -> ExperimentResult:
     "Monte-Carlo pseudo-threshold is above the analytic bound 1/108",
 )
 def experiment_mc_threshold() -> ExperimentResult:
-    trials = min(trial_budget(), 30000)
+    trials = min(trial_budget(), 100000)
 
     def measured_error(gate_error: float) -> float:
         rate, _ = logical_error_per_cycle(
-            gate_error, trials, include_resets=True, seed=51
+            gate_error, trials, include_resets=True, seed=51, engine=engine_choice()
         )
         return rate
 

@@ -28,6 +28,7 @@ def logical_error_per_cycle(
     cycles: int = 1,
     include_resets: bool = True,
     seed: int | np.random.Generator | None = 0,
+    engine: str = "auto",
 ) -> tuple[float, int]:
     """Measured logical error of ``cycles`` gate+recovery cycles.
 
@@ -35,6 +36,10 @@ def logical_error_per_cycle(
     identity-preserving gate cycles (a transversal self-inverse pair
     counts per the paper as a gate op on the codeword followed by
     recovery) and returns the per-cycle logical failure rate.
+
+    ``engine`` selects the Monte-Carlo backend (see
+    :mod:`repro.noise.monte_carlo`); estimates are engine-dependent at
+    the statistical-fluctuation level only.
     """
     if cycles < 1:
         raise AnalysisError(f"cycles must be >= 1, got {cycles}")
@@ -51,7 +56,7 @@ def logical_error_per_cycle(
         gate_error=gate_error,
         reset_error=None if include_resets else 0.0,
     )
-    runner = NoisyRunner(model, seed)
+    runner = NoisyRunner(model, seed, engine=engine)
     result = runner.run_from_input(processor.circuit, physical, trials)
     decoded = processor.decode_batch(result.states)
     expected = np.asarray(logical_input, dtype=np.uint8)

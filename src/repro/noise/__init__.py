@@ -15,11 +15,13 @@ from repro.noise.pair_analysis import (
     analyse_recovery_cycle,
 )
 from repro.noise.monte_carlo import (
+    ENGINES,
     NoisyResult,
     NoisyRunner,
     any_wire_differs_predicate,
     estimate_failure_probability,
     repetition_failure_predicate,
+    resolve_engine,
 )
 
 __all__ = [
@@ -33,9 +35,11 @@ __all__ = [
     "analyse_one_d_cycle",
     "analyse_pairs",
     "analyse_recovery_cycle",
+    "ENGINES",
     "NoisyResult",
     "NoisyRunner",
     "any_wire_differs_predicate",
     "estimate_failure_probability",
     "repetition_failure_predicate",
+    "resolve_engine",
 ]

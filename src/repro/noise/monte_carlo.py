@@ -1,13 +1,31 @@
 """Vectorised Monte-Carlo simulation under the gate-failure model.
 
-The engine evolves a :class:`~repro.core.simulator.BatchedState` through
-a circuit; each operation first acts noiselessly on every trial, then a
+Two interchangeable engines evolve a batch of trials through a circuit;
+each operation first acts noiselessly on every trial, then a
 Bernoulli(``g``) mask selects the trials whose touched wires are
 replaced with uniform random bits.  This is exactly the paper's error
 model, vectorised across trials.
 
-All entry points take an explicit seed or :class:`numpy.random.Generator`
-so every experiment in the benches is reproducible bit for bit.
+* ``engine="batched"`` — the :class:`~repro.core.simulator.BatchedState`
+  uint8 engine: per-op column pack/unpack and a table lookup.
+* ``engine="bitplane"`` — the :class:`~repro.core.bitplane.BitplaneState`
+  engine: the circuit is lowered once by
+  :class:`~repro.core.compiled.CompiledCircuit`, 64 trials ride in each
+  uint64 word, and fault sites are sampled by geometric gap-jumping so
+  the per-op cost scales with the *number of faults*, not the number of
+  trials.  10-50x faster on 100k-trial batches.
+* ``engine="auto"`` — bitplane for batches of at least
+  :data:`AUTO_BITPLANE_MIN_TRIALS` trials, batched below that (tiny
+  batches don't amortise packing).
+
+RNG-stream caveat: all entry points take an explicit seed or
+:class:`numpy.random.Generator` so every experiment is reproducible bit
+for bit — but the two engines consume the generator differently (the
+batched engine draws per-trial uniforms and uint8 bits; the bitplane
+engine draws geometric gaps and whole uint64 words).  Equal seeds give
+statistically identical results across engines, never bit-identical
+realisations; digests of noisy runs are only comparable within one
+engine.  ``tests/noise/test_engine_determinism`` pins both streams.
 """
 
 from __future__ import annotations
@@ -17,10 +35,33 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.bitplane import BitplaneState, mask_from_positions
 from repro.core.circuit import Circuit
+from repro.core.compiled import CompiledCircuit
 from repro.core.simulator import BatchedState
 from repro.errors import SimulationError
 from repro.noise.model import NoiseModel
+
+#: Valid values of the ``engine`` parameter.
+ENGINES = ("auto", "batched", "bitplane")
+
+#: Smallest batch for which ``engine="auto"`` picks the bitplane engine.
+AUTO_BITPLANE_MIN_TRIALS = 256
+
+
+def _validate_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; valid engines: {ENGINES}"
+        )
+
+
+def resolve_engine(engine: str, trials: int) -> str:
+    """Resolve ``"auto"`` to a concrete engine for a batch size."""
+    _validate_engine(engine)
+    if engine == "auto":
+        return "bitplane" if trials >= AUTO_BITPLANE_MIN_TRIALS else "batched"
+    return engine
 
 
 def _as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -29,11 +70,39 @@ def _as_generator(seed: int | np.random.Generator | None) -> np.random.Generator
     return np.random.default_rng(seed)
 
 
+def _bernoulli_positions(
+    rng: np.random.Generator, probability: float, trials: int
+) -> np.ndarray:
+    """Indices of successes among ``trials`` Bernoulli draws.
+
+    Samples geometric gaps between successes instead of one uniform per
+    trial, so the cost is proportional to the expected ``trials * p``
+    successes.  This is the bitplane engine's fault stream.
+    """
+    if trials == 0 or probability <= 0.0:
+        return np.empty(0, dtype=np.int64)
+    if probability >= 1.0:
+        return np.arange(trials, dtype=np.int64)
+    expected = trials * probability
+    batch = int(expected + 4.0 * expected**0.5 + 16.0)
+    chunks = []
+    last = -1
+    while True:
+        gaps = rng.geometric(probability, size=batch)
+        positions = last + np.cumsum(gaps)
+        if positions[-1] >= trials:
+            chunks.append(positions[positions < trials])
+            break
+        chunks.append(positions)
+        last = int(positions[-1])
+    return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
+
 @dataclass
 class NoisyResult:
     """Outcome of a noisy batched run."""
 
-    states: BatchedState
+    states: BatchedState | BitplaneState
     fault_counts: np.ndarray  # faults injected per trial
 
     @property
@@ -47,19 +116,40 @@ class NoisyResult:
 
 
 class NoisyRunner:
-    """Runs circuits under a :class:`NoiseModel` on batched states."""
+    """Runs circuits under a :class:`NoiseModel` on batched states.
 
-    def __init__(self, model: NoiseModel, seed: int | np.random.Generator | None = None):
+    ``engine`` selects how :meth:`run_from_input` builds its batch; see
+    the module docstring for the engines and the RNG-stream caveat.
+    :meth:`run` dispatches on the state type it is handed, so an
+    explicitly constructed :class:`BitplaneState` always takes the
+    bit-parallel path regardless of ``engine``.
+    """
+
+    def __init__(
+        self,
+        model: NoiseModel,
+        seed: int | np.random.Generator | None = None,
+        engine: str = "auto",
+    ):
+        _validate_engine(engine)
         self.model = model
         self.rng = _as_generator(seed)
+        self.engine = engine
 
-    def run(self, circuit: Circuit, states: BatchedState) -> NoisyResult:
+    def run(
+        self, circuit: Circuit, states: BatchedState | BitplaneState
+    ) -> NoisyResult:
         """Evolve the batch through the circuit, mutating ``states``."""
         if states.n_wires != circuit.n_wires:
             raise SimulationError(
                 f"batch has {states.n_wires} wires but circuit has "
                 f"{circuit.n_wires}"
             )
+        if isinstance(states, BitplaneState):
+            return self._run_bitplane(circuit, states)
+        return self._run_batched(circuit, states)
+
+    def _run_batched(self, circuit: Circuit, states: BatchedState) -> NoisyResult:
         trials = states.trials
         fault_counts = np.zeros(trials, dtype=np.int64)
         for op in circuit:
@@ -77,28 +167,57 @@ class NoisyRunner:
                     fault_counts += mask
         return NoisyResult(states=states, fault_counts=fault_counts)
 
+    def _run_bitplane(self, circuit: Circuit, states: BitplaneState) -> NoisyResult:
+        compiled = CompiledCircuit(circuit)
+        trials = states.trials
+        fault_counts = np.zeros(trials, dtype=np.int64)
+        for op in compiled.schedule:
+            if op.is_reset:
+                error = self.model.effective_reset_error
+                states.reset(op.wires, op.reset_value)
+            else:
+                error = self.model.gate_error
+                assert op.program is not None
+                states.apply_program(op.program, op.wires)
+            if error > 0.0:
+                positions = _bernoulli_positions(self.rng, error, trials)
+                if positions.size:
+                    mask = mask_from_positions(positions, states.n_words)
+                    states.randomize(op.wires, self.rng, mask=mask)
+                    fault_counts[positions] += 1
+        return NoisyResult(states=states, fault_counts=fault_counts)
+
     def run_from_input(
         self, circuit: Circuit, input_bits: Sequence[int], trials: int
     ) -> NoisyResult:
         """Broadcast one input over ``trials`` and run noisily."""
-        states = BatchedState.broadcast(input_bits, trials)
+        if resolve_engine(self.engine, trials) == "bitplane":
+            states: BatchedState | BitplaneState = BitplaneState.broadcast(
+                input_bits, trials
+            )
+        else:
+            states = BatchedState.broadcast(input_bits, trials)
         return self.run(circuit, states)
 
 
 def estimate_failure_probability(
     circuit: Circuit,
     input_bits: Sequence[int],
-    is_failure: Callable[[BatchedState], np.ndarray],
+    is_failure: Callable[[BatchedState | BitplaneState], np.ndarray],
     model: NoiseModel,
     trials: int,
     seed: int | np.random.Generator | None = None,
+    engine: str = "auto",
 ) -> tuple[float, int]:
     """Monte-Carlo estimate of ``P[is_failure]`` after a noisy run.
 
     ``is_failure`` receives the final batch and returns a boolean array
-    of per-trial failures.  Returns ``(failure_fraction, failures)``.
+    of per-trial failures; it must stick to the engine-agnostic
+    observation API (``array``/``columns``/``majority_of``) since the
+    batch type follows ``engine``.  Returns ``(failure_fraction,
+    failures)``.
     """
-    runner = NoisyRunner(model, seed)
+    runner = NoisyRunner(model, seed, engine=engine)
     result = runner.run_from_input(circuit, input_bits, trials)
     failures = np.asarray(is_failure(result.states), dtype=bool)
     if failures.shape != (trials,):
@@ -111,10 +230,10 @@ def estimate_failure_probability(
 
 def repetition_failure_predicate(
     output_wires: Sequence[int], expected: int
-) -> Callable[[BatchedState], np.ndarray]:
+) -> Callable[[BatchedState | BitplaneState], np.ndarray]:
     """Failure predicate: majority over ``output_wires`` != ``expected``."""
 
-    def predicate(states: BatchedState) -> np.ndarray:
+    def predicate(states: BatchedState | BitplaneState) -> np.ndarray:
         return states.majority_of(output_wires) != expected
 
     return predicate
@@ -122,11 +241,11 @@ def repetition_failure_predicate(
 
 def any_wire_differs_predicate(
     output_wires: Sequence[int], expected_bits: Sequence[int]
-) -> Callable[[BatchedState], np.ndarray]:
+) -> Callable[[BatchedState | BitplaneState], np.ndarray]:
     """Failure predicate: any selected wire differs from expectation."""
     expected = np.asarray(expected_bits, dtype=np.uint8)
 
-    def predicate(states: BatchedState) -> np.ndarray:
+    def predicate(states: BatchedState | BitplaneState) -> np.ndarray:
         return (states.columns(output_wires) != expected).any(axis=1)
 
     return predicate

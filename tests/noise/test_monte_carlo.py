@@ -6,14 +6,17 @@ import numpy as np
 import pytest
 
 from repro.core import library
+from repro.core.bitplane import BitplaneState
 from repro.core.circuit import Circuit
 from repro.core.simulator import BatchedState
 from repro.noise.model import NoiseModel
 from repro.noise.monte_carlo import (
+    AUTO_BITPLANE_MIN_TRIALS,
     NoisyRunner,
     any_wire_differs_predicate,
     estimate_failure_probability,
     repetition_failure_predicate,
+    resolve_engine,
 )
 from repro.errors import SimulationError
 
@@ -75,6 +78,51 @@ class TestNoisyRunner:
         rng = np.random.default_rng(0)
         runner = NoisyRunner(NoiseModel(gate_error=0.1), seed=rng)
         assert runner.rng is rng
+
+
+class TestEngineSelection:
+    def test_resolve_auto_by_batch_size(self):
+        assert resolve_engine("auto", AUTO_BITPLANE_MIN_TRIALS) == "bitplane"
+        assert resolve_engine("auto", AUTO_BITPLANE_MIN_TRIALS - 1) == "batched"
+        assert resolve_engine("batched", 10**6) == "batched"
+        assert resolve_engine("bitplane", 1) == "bitplane"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_engine("quantum", 100)
+        with pytest.raises(SimulationError):
+            NoisyRunner(NoiseModel.noiseless(), engine="quantum")
+
+    def test_engine_controls_state_type(self):
+        circuit = Circuit(3).maj(0, 1, 2)
+        batched = NoisyRunner(
+            NoiseModel.noiseless(), seed=0, engine="batched"
+        ).run_from_input(circuit, (1, 0, 1), trials=5000)
+        bitplane = NoisyRunner(
+            NoiseModel.noiseless(), seed=0, engine="bitplane"
+        ).run_from_input(circuit, (1, 0, 1), trials=5000)
+        assert isinstance(batched.states, BatchedState)
+        assert isinstance(bitplane.states, BitplaneState)
+        assert (batched.states.array == bitplane.states.array).all()
+
+    def test_run_dispatches_on_state_type(self):
+        # An explicitly built BitplaneState takes the bit-parallel path
+        # even on a runner configured for the batched engine.
+        circuit = Circuit(3).maj(0, 1, 2)
+        runner = NoisyRunner(NoiseModel.noiseless(), seed=0, engine="batched")
+        result = runner.run(circuit, BitplaneState.broadcast((1, 0, 1), 100))
+        assert isinstance(result.states, BitplaneState)
+        assert (result.states.array == np.array([1, 1, 0], dtype=np.uint8)).all()
+
+    def test_engines_agree_statistically(self):
+        circuit = Circuit(3).maj(0, 1, 2).maj_inv(0, 1, 2)
+        means = {}
+        for engine in ("batched", "bitplane"):
+            runner = NoisyRunner(NoiseModel(gate_error=0.25), seed=9, engine=engine)
+            result = runner.run_from_input(circuit, (0, 0, 0), trials=20000)
+            means[engine] = result.fault_counts.mean()
+        assert means["batched"] == pytest.approx(0.5, rel=0.1)
+        assert means["bitplane"] == pytest.approx(0.5, rel=0.1)
 
 
 class TestEstimation:
