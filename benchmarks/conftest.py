@@ -12,14 +12,12 @@ Set ``REPRO_TRIALS`` to trade Monte-Carlo precision against runtime.
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
 
 from repro.harness.experiments import ExperimentResult
-from repro.harness.tables import paper_vs_measured
+from repro.harness.experiments_md import RESULTS_DIR, write_result
 
-RESULTS_DIR = Path(__file__).parent / "results"
+__all__ = ["RESULTS_DIR", "record", "run_once"]
 
 
 @pytest.fixture
@@ -27,14 +25,7 @@ def record():
     """Print, persist, and assert one experiment's comparison table."""
 
     def _record(result: ExperimentResult) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        text = paper_vs_measured(
-            result.rows,
-            title=f"{result.experiment_id} — {result.paper_ref}",
-        )
-        if result.notes:
-            text += f"\n\nNotes: {result.notes}"
-        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        text = write_result(result)
         print()
         print(text)
         failing = [row for row in result.rows if not row[3]]

@@ -2,42 +2,67 @@
 
 Run with::
 
-    python examples/threshold_sweep.py [trials]
+    python examples/threshold_sweep.py [trials] [workers]
 
 Measures the logical error per gate-plus-recovery cycle of the level-1
-scheme across a geometric grid of gate error rates, compares it with
-the Eq.-1 analytic bound ``3 C(11,2) g^2``, and bisects for the
-pseudo-threshold (the crossing ``g_logical = g``).  The analytic
-threshold 1/165 is a lower bound; the measured crossing lands above it.
+scheme across a geometric grid of gate error rates (optionally on a
+``workers``-process pool — each point owns a spawned child seed, so the
+parallel numbers equal the serial ones), compares it with the Eq.-1
+analytic bound ``3 C(11,2) g^2``, and runs the budget-aware bisection
+for the pseudo-threshold (the crossing ``g_logical = g``).  The
+analytic threshold 1/165 is a lower bound; the measured crossing lands
+above it.
 """
 
 from __future__ import annotations
 
 import sys
+from functools import partial
 
 from repro.analysis import logical_error_bound, threshold
 from repro.harness import (
-    find_pseudo_threshold,
+    find_pseudo_threshold_adaptive,
     format_table,
     geometric_grid,
     logical_error_per_cycle,
+    spawn_seeds,
+    sweep,
 )
 
 
-def main(trials: int = 40000) -> None:
+def sweep_point(point: tuple[float, int], trials: int) -> float:
+    """Logical error at one (gate error, seed) grid point."""
+    gate_error, seed = point
+    rate, _ = logical_error_per_cycle(gate_error, trials, seed=seed)
+    return rate
+
+
+def bisection_point(gate_error: float, n_trials: int, seed: int):
+    """Adaptive-bisection evaluator (picklable for parallel brackets)."""
+    return logical_error_per_cycle(gate_error, n_trials, seed=seed)
+
+
+def main(trials: int = 40000, workers: int = 0) -> None:
     print(f"analytic threshold (G=11): rho = 1/165 = {threshold(11):.5f}")
     print()
 
+    grid = geometric_grid(1e-3, 6e-2, 7)
+    points = list(zip(grid, spawn_seeds(13, len(grid))))
+    measured = sweep(
+        partial(sweep_point, trials=trials),
+        points,
+        parameter="(g, seed)",
+        parallel=workers,
+    )
     rows = []
-    for g in geometric_grid(1e-3, 6e-2, 7):
-        measured, failures = logical_error_per_cycle(g, trials, seed=13)
+    for (g, _), rate in measured.rows():
         bound = logical_error_bound(g, 11)
         rows.append(
             (
                 f"{g:.2e}",
-                f"{measured:.2e}",
+                f"{rate:.2e}",
                 f"{bound:.2e}",
-                "better" if measured < g else "worse",
+                "better" if rate < g else "worse",
             )
         )
     print(
@@ -49,14 +74,25 @@ def main(trials: int = 40000) -> None:
     )
     print()
 
-    result = find_pseudo_threshold(
-        lambda g: logical_error_per_cycle(g, trials, seed=13)[0],
+    result = find_pseudo_threshold_adaptive(
+        bisection_point,
         lower=2e-3,
         upper=8e-2,
+        trials=trials,
         iterations=10,
+        seed=13,
+        parallel=workers,
     )
     print(f"measured pseudo-threshold: {result.estimate:.4f}")
     print(f"analytic lower bound     : {threshold(11):.4f}")
+    print(
+        f"({result.evaluations} evaluations, {result.trials_spent} trials"
+        + (
+            ", stopped at the budget's statistical resolution)"
+            if result.resolution_limited
+            else ")"
+        )
+    )
     print(
         "consistent with Section 5: the paper's thresholds are an "
         "existence proof, not an optimum."
@@ -64,4 +100,7 @@ def main(trials: int = 40000) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40000)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 40000,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 0,
+    )

@@ -146,3 +146,34 @@ class LogicalProcessor:
         """
         columns = [states.majority_of(layout.data) for layout in self.layouts]
         return np.stack(columns, axis=1)
+
+    def count_decode_failures(
+        self, states, expected_logical: Sequence[int]
+    ) -> int:
+        """Trials whose decoded logical word differs from ``expected_logical``.
+
+        Equivalent to decoding the batch and counting rows that mismatch,
+        but on a bit-plane batch the comparison stays packed: each
+        codeword's majority plane is XORed against its expected bit and
+        ORed into one failure plane, so no per-trial array is ever
+        unpacked.  This is the hot path of the threshold pipeline.
+        """
+        if len(expected_logical) != self.n_logical:
+            raise CodingError(
+                f"expected {self.n_logical} logical bits, "
+                f"got {len(expected_logical)}"
+            )
+        from repro.core.bitplane import BitplaneState
+        from repro.core.compiled import ALL_ONES
+
+        if isinstance(states, BitplaneState):
+            failed = None
+            for layout, bit in zip(self.layouts, expected_logical):
+                plane = states.majority_plane(layout.data)
+                if bit:
+                    plane = plane ^ ALL_ONES
+                failed = plane if failed is None else failed | plane
+            return states.count_ones(failed)
+        decoded = self.decode_batch(states)
+        expected = np.asarray(expected_logical, dtype=np.uint8)
+        return int((decoded != expected).any(axis=1).sum())

@@ -27,7 +27,14 @@ from repro.core.library import (
     X,
 )
 from repro.core.bitplane import BitplaneState, run_bitplane
-from repro.core.compiled import CompiledCircuit, gate_plane_program
+from repro.core.compiled import (
+    CompiledCircuit,
+    FusedSlot,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_circuit,
+    gate_plane_program,
+)
 from repro.core.permutation import Permutation
 from repro.core.simulator import BatchedState, apply_gate, run, run_batched
 from repro.core.truth_table import (
@@ -67,6 +74,10 @@ __all__ = [
     "BatchedState",
     "BitplaneState",
     "CompiledCircuit",
+    "FusedSlot",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_circuit",
     "gate_plane_program",
     "apply_gate",
     "run",

@@ -40,8 +40,8 @@ from repro.core.bits import validate_bits
 from repro.core.circuit import Circuit, Operation
 from repro.core.compiled import (
     ALL_ONES,
-    CompiledCircuit,
     apply_plane_program,
+    compile_circuit,
     gate_plane_program,
 )
 from repro.core.gate import Gate
@@ -224,6 +224,23 @@ class BitplaneState:
             for wire, plane in zip(rows, outputs):
                 self.planes[wire] = (plane & mask) | (self.planes[wire] & keep)
 
+    def apply_program_stacked(self, program: tuple, wire_matrix: np.ndarray) -> None:
+        """Apply one plane program to ``k`` stacked gate instances.
+
+        ``wire_matrix`` has shape ``(k, arity)``; column ``i`` selects
+        the planes feeding gate position ``i`` of every instance, so the
+        program is evaluated once on ``(k, n_words)`` blocks instead of
+        ``k`` times on single planes.  Instances must touch pairwise
+        disjoint wires (guaranteed by the fusion pass).
+        """
+        if wire_matrix.shape[0] == 1:
+            self.apply_program(program, wire_matrix[0])
+            return
+        inputs = [self.planes[wire_matrix[:, i]] for i in range(wire_matrix.shape[1])]
+        outputs = apply_plane_program(program, inputs)
+        for i, block in enumerate(outputs):
+            self.planes[wire_matrix[:, i]] = block
+
     def apply_gate(
         self,
         gate: Gate,
@@ -289,6 +306,41 @@ class BitplaneState:
         target = np.ix_(rows, affected)
         self.planes[target] = (words & select) | (self.planes[target] & ~select)
 
+    def randomize_stacked(
+        self,
+        wire_matrix: np.ndarray,
+        rng: np.random.Generator,
+        instance_of: np.ndarray,
+        word_of: np.ndarray,
+        select: np.ndarray,
+    ) -> None:
+        """Randomize faulted sites of stacked gate instances in one draw.
+
+        ``wire_matrix`` is the ``(k, arity)`` instance layout; the
+        remaining arrays describe the ``m`` faulted (instance, word)
+        sites: instance index, word index within the plane, and the
+        packed bit-select of faulted trials in that word.  One
+        ``(arity, m)`` block of random words replaces the selected bits
+        on every wire of each faulted instance — the per-slot batched
+        counterpart of :meth:`randomize`.
+        """
+        arity = wire_matrix.shape[1]
+        random_words = rng.integers(
+            0, 2**64, size=(arity, instance_of.size), dtype=np.uint64
+        )
+        rows = wire_matrix.T[:, instance_of]
+        if self.planes.flags.c_contiguous:
+            flat = self.planes.reshape(-1)
+            indices = rows * self.n_words + word_of
+            current = flat.take(indices)
+            flat.put(indices, (random_words & select) | (current & ~select))
+        else:  # pragma: no cover - planes are constructed contiguous
+            for position in range(arity):
+                wires = rows[position]
+                self.planes[wires, word_of] = (
+                    random_words[position] & select
+                ) | (self.planes[wires, word_of] & ~select)
+
     def apply_operation(self, op: Operation) -> None:
         """Apply one noiseless circuit operation to every trial."""
         if op.is_reset:
@@ -313,12 +365,13 @@ class BitplaneState:
             out[:, index] = self.column(wire)
         return out
 
-    def majority_of(self, wires: Sequence[int]) -> np.ndarray:
-        """Per-trial majority vote over the selected wires, bit-parallel.
+    def majority_plane(self, wires: Sequence[int]) -> np.ndarray:
+        """Packed per-trial majority vote over the selected wires.
 
         Accumulates the selected planes into a carry-save binary counter
         and compares it against ``len(wires) // 2 + 1`` without ever
-        unpacking a trial.
+        unpacking a trial; returns the ``(n_words,)`` packed result
+        (padding bits beyond ``trials`` are unspecified).
         """
         if not len(wires):
             raise SimulationError("majority requires at least one wire")
@@ -343,7 +396,24 @@ class BitplaneState:
             else:
                 greater |= equal & plane
                 equal = equal & ~plane
-        return unpack_words(greater | equal, self._trials)
+        return greater | equal
+
+    def majority_of(self, wires: Sequence[int]) -> np.ndarray:
+        """Per-trial majority vote over the selected wires, bit-parallel."""
+        return unpack_words(self.majority_plane(wires), self._trials)
+
+    def count_ones(self, plane: np.ndarray) -> int:
+        """Number of set *trial* bits in a packed plane (padding ignored)."""
+        if self._trials % WORD_BITS and plane.size:
+            plane = plane.copy()
+            plane[-1] &= np.uint64((1 << (self._trials % WORD_BITS)) - 1)
+        if hasattr(np, "bitwise_count"):
+            return int(np.bitwise_count(plane).sum(dtype=np.int64))
+        # NumPy < 2.0 has no popcount ufunc; unpack instead.
+        return int(
+            np.unpackbits(np.ascontiguousarray(plane).view(np.uint8))
+            .sum(dtype=np.int64)
+        )
 
 
 def run_bitplane(circuit: Circuit, states: BitplaneState) -> BitplaneState:
@@ -353,4 +423,4 @@ def run_bitplane(circuit: Circuit, states: BitplaneState) -> BitplaneState:
             f"batch has {states.n_wires} wires but circuit has "
             f"{circuit.n_wires}"
         )
-    return CompiledCircuit(circuit).run(states)
+    return compile_circuit(circuit).run(states)

@@ -4,15 +4,23 @@ from repro.harness.experiments import (
     REGISTRY,
     Experiment,
     ExperimentResult,
+    parallel_workers,
     run_experiment,
     trial_budget,
 )
 from repro.harness.stats import RateEstimate, required_trials, wilson_interval
-from repro.harness.sweep import SweepResult, crossing_index, geometric_grid, sweep
+from repro.harness.sweep import (
+    SweepResult,
+    crossing_index,
+    geometric_grid,
+    spawn_seeds,
+    sweep,
+)
 from repro.harness.tables import format_table, paper_vs_measured
 from repro.harness.threshold_finder import (
     PseudoThreshold,
     find_pseudo_threshold,
+    find_pseudo_threshold_adaptive,
     logical_error_per_cycle,
 )
 
@@ -20,6 +28,7 @@ __all__ = [
     "REGISTRY",
     "Experiment",
     "ExperimentResult",
+    "parallel_workers",
     "run_experiment",
     "trial_budget",
     "RateEstimate",
@@ -28,10 +37,12 @@ __all__ = [
     "SweepResult",
     "crossing_index",
     "geometric_grid",
+    "spawn_seeds",
     "sweep",
     "format_table",
     "paper_vs_measured",
     "PseudoThreshold",
     "find_pseudo_threshold",
+    "find_pseudo_threshold_adaptive",
     "logical_error_per_cycle",
 ]

@@ -14,6 +14,14 @@ caveat).  The default budget assumes the bit-parallel engine.  One
 exception to the budget: fig2's g^2-scaling row floors its trials at
 30000 regardless of ``REPRO_TRIALS``, because it divides two small
 failure counts and is meaningless below that.
+
+Independent Monte-Carlo points (fig2's two error rates, fig3's two
+concatenation levels, mc-threshold's bracket) are expressed as
+module-level point functions routed through
+:func:`~repro.harness.sweep.sweep`; setting ``REPRO_PARALLEL`` to a
+worker count (or ``max``) evaluates them in a process pool.  Every
+point carries its own frozen seed, so parallel runs produce exactly
+the serial numbers.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from functools import partial
 from math import isclose, log2
 
 import numpy as np
@@ -86,13 +95,51 @@ from repro.noise import (
     iter_single_faults,
     run_with_faults,
 )
+from repro.harness.sweep import sweep
 from repro.harness.threshold_finder import (
-    find_pseudo_threshold,
+    find_pseudo_threshold_adaptive,
     logical_error_per_cycle,
 )
 from repro.errors import ReproError
 
 Row = tuple[str, object, object, bool]
+
+
+# Module-level sweep points (process-pool workers must pickle them).
+
+
+def _logical_error_point(
+    point: tuple[float, int], trials: int, engine: str
+) -> float:
+    """One (gate_error, seed) sweep point of the level-1 logical error."""
+    gate_error, seed = point
+    rate, _ = logical_error_per_cycle(gate_error, trials, seed=seed, engine=engine)
+    return rate
+
+
+def _concatenation_failure_point(
+    level: int, trials: int, gate_error: float, engine: str
+) -> float:
+    """Decoded failure fraction of one noisy level-``level`` MAJ gate."""
+    computation = ConcatenatedComputation(3, level)
+    physical = computation.physical_input((1, 0, 1))
+    computation.apply(MAJ, 0, 1, 2)
+    runner = NoisyRunner(
+        NoiseModel(gate_error=gate_error), seed=21 + level, engine=engine
+    )
+    result = runner.run_from_input(computation.circuit, physical, trials)
+    decoded = computation.decode_batch(result.states)
+    expected_bits = np.asarray(MAJ.apply((1, 0, 1)), dtype=np.uint8)
+    return float((decoded != expected_bits).any(axis=1).mean())
+
+
+def _staged_error_point(
+    gate_error: float, n_trials: int, seed: int, engine: str
+) -> tuple[float, int]:
+    """Adaptive-bisection evaluator: one budget stage at one error rate."""
+    return logical_error_per_cycle(
+        gate_error, n_trials, include_resets=True, seed=seed, engine=engine
+    )
 
 
 def trial_budget(default: int = 100000) -> int:
@@ -103,6 +150,21 @@ def trial_budget(default: int = 100000) -> int:
 def engine_choice(default: str = "auto") -> str:
     """Monte-Carlo engine, overridable via ``REPRO_ENGINE``."""
     return os.environ.get("REPRO_ENGINE", default)
+
+
+def parallel_workers(default: int = 0) -> int | bool:
+    """Sweep worker count from ``REPRO_PARALLEL`` (0 = in-process).
+
+    ``REPRO_PARALLEL=max`` uses one worker per CPU.  The default stays
+    serial: the registered experiments are single-digit-second affairs
+    where pool startup would dominate, but large custom sweeps benefit.
+    """
+    value = os.environ.get("REPRO_PARALLEL")
+    if value is None:
+        return default
+    if value.strip().lower() == "max":
+        return True
+    return int(value)
 
 
 @dataclass
@@ -282,8 +344,13 @@ def experiment_fig2() -> ExperimentResult:
     trials = max(trial_budget(), 30000)
     g_small, g_large = 2.5e-3, 5e-3
     engine = engine_choice()
-    error_small, _ = logical_error_per_cycle(g_small, trials, seed=11, engine=engine)
-    error_large, _ = logical_error_per_cycle(g_large, trials, seed=12, engine=engine)
+    scaling = sweep(
+        partial(_logical_error_point, trials=trials, engine=engine),
+        ((g_small, 11), (g_large, 12)),
+        parameter="(g, seed)",
+        parallel=parallel_workers(),
+    )
+    error_small, error_large = scaling.ys
     ratio = error_large / error_small if error_small > 0 else float("inf")
     quadratic = 2.0 <= ratio <= 8.0
     rows.append(
@@ -321,18 +388,18 @@ def experiment_fig3() -> ExperimentResult:
     # any level-1 failures at all.
     trials = min(max(trial_budget(), 30000), 100000)
     gate_error = 4e-3
-    failures = {}
-    for level in (1, 2):
-        computation = ConcatenatedComputation(3, level)
-        physical = computation.physical_input((1, 0, 1))
-        computation.apply(MAJ, 0, 1, 2)
-        runner = NoisyRunner(
-            NoiseModel(gate_error=gate_error), seed=21 + level, engine=engine_choice()
-        )
-        result = runner.run_from_input(computation.circuit, physical, trials)
-        decoded = computation.decode_batch(result.states)
-        expected_bits = np.asarray(MAJ.apply((1, 0, 1)), dtype=np.uint8)
-        failures[level] = float((decoded != expected_bits).any(axis=1).mean())
+    levels = sweep(
+        partial(
+            _concatenation_failure_point,
+            trials=trials,
+            gate_error=gate_error,
+            engine=engine_choice(),
+        ),
+        (1, 2),
+        parameter="level",
+        parallel=parallel_workers(),
+    )
+    failures = dict(levels.rows())
     suppressed = failures[2] < failures[1]
     rows.append(
         (
@@ -711,15 +778,14 @@ def experiment_baseline() -> ExperimentResult:
 )
 def experiment_mc_threshold() -> ExperimentResult:
     trials = min(trial_budget(), 100000)
-
-    def measured_error(gate_error: float) -> float:
-        rate, _ = logical_error_per_cycle(
-            gate_error, trials, include_resets=True, seed=51, engine=engine_choice()
-        )
-        return rate
-
-    result = find_pseudo_threshold(
-        measured_error, lower=2e-3, upper=8e-2, iterations=8
+    result = find_pseudo_threshold_adaptive(
+        partial(_staged_error_point, engine=engine_choice()),
+        lower=2e-3,
+        upper=8e-2,
+        trials=trials,
+        iterations=8,
+        seed=51,
+        parallel=parallel_workers(),
     )
     analytic = threshold(11)
     above = result.estimate >= analytic
@@ -731,6 +797,16 @@ def experiment_mc_threshold() -> ExperimentResult:
             above,
         )
     ]
+    budget_note = (
+        f"Budget-aware bisection: {result.evaluations} evaluations, "
+        f"{result.trials_spent} total trials"
+        + (
+            ", stopped at the budget's statistical resolution"
+            if result.resolution_limited
+            else ""
+        )
+        + "."
+    )
     return ExperimentResult(
         "mc-threshold",
         "Section 2.2",
@@ -738,6 +814,6 @@ def experiment_mc_threshold() -> ExperimentResult:
         notes=(
             "Section 5: the quoted thresholds are lower bounds ('an "
             "existence proof'); the measured crossing is expected to be "
-            "higher, and is."
+            "higher, and is.  " + budget_note
         ),
     )

@@ -1,9 +1,30 @@
-"""Parameter sweeps with tabular results."""
+"""Parameter sweeps with tabular results, optionally over a process pool.
+
+``sweep`` evaluates one function over a grid of values.  With
+``parallel=`` it fans the points out to a :mod:`concurrent.futures`
+process pool; the function (and its captured arguments) must then be
+picklable — module-level functions and :func:`functools.partial` of
+them qualify, lambdas and closures do not.  Results are returned in
+grid order either way, so a parallel sweep is bit-identical to the
+serial one whenever each point seeds its own RNG stream.
+
+``spawn_seeds`` derives per-point child seeds from one base seed via
+:class:`numpy.random.SeedSequence`, which is how a parallel sweep keeps
+determinism: every point owns an independent, reproducible stream, and
+the engine-level frozen digests (per-point, per-seed) are untouched by
+how the points are scheduled.
+"""
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
 
 
 @dataclass(frozen=True)
@@ -22,20 +43,72 @@ class SweepResult:
         return len(self.xs)
 
 
+def resolve_workers(parallel: int | bool | None, points: int) -> int:
+    """Worker count for a sweep: 0 means run serially in-process."""
+    if parallel is None or parallel is False:
+        return 0
+    if parallel is True:
+        workers = os.cpu_count() or 1
+    else:
+        workers = int(parallel)
+        if workers < 0:
+            raise AnalysisError(f"parallel must be >= 0, got {parallel}")
+    workers = min(workers, points)
+    return 0 if workers < 2 else workers
+
+
 def sweep(
     function: Callable,
     values: Iterable,
     parameter: str = "x",
+    parallel: int | bool | None = None,
 ) -> SweepResult:
-    """Evaluate ``function`` over ``values`` and collect the pairs."""
+    """Evaluate ``function`` over ``values`` and collect the pairs.
+
+    ``parallel=None`` (or ``0``/``1``) evaluates in-process;
+    ``parallel=N`` uses an ``N``-worker process pool, ``parallel=True``
+    one worker per CPU.  Parallel evaluation requires ``function`` to
+    be picklable and returns points in grid order, so results are
+    identical to a serial sweep.
+    """
     xs = tuple(values)
-    ys = tuple(function(x) for x in xs)
+    workers = resolve_workers(parallel, len(xs))
+    if workers == 0:
+        ys = tuple(function(x) for x in xs)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            ys = tuple(pool.map(function, xs))
     return SweepResult(parameter=parameter, xs=xs, ys=ys)
 
 
+def spawn_seeds(seed: int | None, points: int) -> list[int]:
+    """``points`` independent child seeds derived from ``seed``.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so the children are
+    statistically independent and the derivation is deterministic: the
+    same base seed always yields the same per-point seeds, regardless
+    of whether the points later run serially or in a pool.
+    """
+    if points < 0:
+        raise AnalysisError(f"points must be >= 0, got {points}")
+    children = np.random.SeedSequence(seed).spawn(points)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
 def geometric_grid(start: float, stop: float, points: int) -> list[float]:
-    """``points`` geometrically spaced values from start to stop."""
-    if points < 2:
+    """``points`` geometrically spaced values from start to stop.
+
+    Geometric spacing requires strictly positive endpoints, and a grid
+    needs at least one point; violations raise :class:`AnalysisError`
+    instead of silently collapsing to ``[start]``.
+    """
+    if points < 1:
+        raise AnalysisError(f"grid needs >= 1 point, got {points}")
+    if start <= 0 or stop <= 0:
+        raise AnalysisError(
+            f"geometric grid endpoints must be positive, got {start}, {stop}"
+        )
+    if points == 1:
         return [start]
     ratio = (stop / start) ** (1.0 / (points - 1))
     return [start * ratio**i for i in range(points)]

@@ -12,14 +12,45 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.coding.logical import LogicalProcessor
 from repro.core import library
+from repro.core.compiled import compile_cache_enabled
+from repro.harness.stats import wilson_interval
+from repro.harness.sweep import spawn_seeds, sweep
 from repro.noise.model import NoiseModel
 from repro.noise.monte_carlo import NoisyRunner
 from repro.errors import AnalysisError
+
+#: Built cycle processors keyed by cycle count.  A bisection or sweep
+#: evaluates the *same* circuit at many noise levels; memoising the
+#: processor (and therefore the circuit object feeding the compile
+#: cache) makes each extra evaluation pure simulation.  Honors the
+#: ``REPRO_COMPILE_CACHE`` knob alongside the compiled-program cache.
+_PROCESSOR_CACHE: dict[int, LogicalProcessor] = {}
+
+#: The logical word every cycle processor carries through its identity
+#: cycles (MAJ then MAJ⁻¹ leave it unchanged).
+_CYCLE_INPUT = (1, 0, 1)
+
+
+def _cycle_processor(cycles: int) -> LogicalProcessor:
+    """The 3-logical-bit processor running ``cycles`` identity cycles."""
+    memoise = compile_cache_enabled()
+    if memoise:
+        cached = _PROCESSOR_CACHE.get(cycles)
+        if cached is not None:
+            return cached
+    processor = LogicalProcessor(3, include_resets=True)
+    for _ in range(cycles):
+        processor.apply(library.MAJ, 0, 1, 2)
+        processor.apply(library.MAJ_INV, 0, 1, 2)
+    if memoise:
+        _PROCESSOR_CACHE[cycles] = processor
+    return processor
 
 
 def logical_error_per_cycle(
@@ -39,28 +70,25 @@ def logical_error_per_cycle(
 
     ``engine`` selects the Monte-Carlo backend (see
     :mod:`repro.noise.monte_carlo`); estimates are engine-dependent at
-    the statistical-fluctuation level only.
+    the statistical-fluctuation level only.  The cycle circuit is built
+    and lowered once per process, so repeated calls at different
+    ``gate_error`` (the bisection/sweep workload) pay only for the
+    Monte-Carlo trials themselves.
     """
     if cycles < 1:
         raise AnalysisError(f"cycles must be >= 1, got {cycles}")
     # The reset operations always run (the ancillas must be re-zeroed
     # between cycles); ``include_resets`` only selects whether they are
     # as noisy as gates (G = 11) or perfectly accurate (G = 9).
-    processor = LogicalProcessor(3, include_resets=True)
-    for _ in range(cycles):
-        processor.apply(library.MAJ, 0, 1, 2)
-        processor.apply(library.MAJ_INV, 0, 1, 2)
-    logical_input = (1, 0, 1)
-    physical = processor.physical_input(logical_input)
+    processor = _cycle_processor(cycles)
+    physical = processor.physical_input(_CYCLE_INPUT)
     model = NoiseModel(
         gate_error=gate_error,
         reset_error=None if include_resets else 0.0,
     )
     runner = NoisyRunner(model, seed, engine=engine)
     result = runner.run_from_input(processor.circuit, physical, trials)
-    decoded = processor.decode_batch(result.states)
-    expected = np.asarray(logical_input, dtype=np.uint8)
-    failures = int((decoded != expected).any(axis=1).sum())
+    failures = processor.count_decode_failures(result.states, _CYCLE_INPUT)
     # Two logical gates per loop iteration; failures accumulate per
     # gate cycle, so normalise to one cycle.
     per_run = failures / trials
@@ -71,11 +99,158 @@ def logical_error_per_cycle(
 
 @dataclass(frozen=True)
 class PseudoThreshold:
-    """Result of a bisection pseudo-threshold search."""
+    """Result of a bisection pseudo-threshold search.
+
+    ``trials_spent`` and ``resolution_limited`` are filled in by
+    :func:`find_pseudo_threshold_adaptive`: the latter is true when the
+    search stopped because the full trial budget could no longer
+    statistically separate the measured error from the identity line —
+    the bisection has reached the resolution of the Monte-Carlo budget
+    and further steps would refine noise, not signal.
+    """
 
     estimate: float
     bracket: tuple[float, float]
     evaluations: int
+    trials_spent: int = 0
+    resolution_limited: bool = False
+
+
+def _interval_sign(
+    gate_error: float, failures: int, n: int, z: float, gate_cycles: int
+) -> int:
+    """-1/+1 when the Wilson interval separates from identity, else 0."""
+    low, high = wilson_interval(failures, n, z)
+    # The interval bounds the per-run rate; push it through the same
+    # (monotone) per-cycle normalisation the point estimate uses.
+    if 1.0 - (1.0 - high) ** (1.0 / gate_cycles) < gate_error:
+        return -1
+    if 1.0 - (1.0 - low) ** (1.0 / gate_cycles) > gate_error:
+        return 1
+    return 0
+
+
+def _measure_point(
+    point: tuple[float, tuple[int, ...]],
+    evaluate: Callable[[float, int, int], tuple[float, int]],
+    stages: tuple[int, ...],
+    z: float,
+    gate_cycles: int,
+) -> tuple[float, int, int]:
+    """Escalate one ``(g, stage_seeds)`` point through the budget stages.
+
+    Returns ``(rate, sign, trials_spent)`` where ``sign`` is the
+    ``z``-sigma-separated side of the identity line, or 0 when even the
+    final stage cannot tell — module-level so a parallel bracket sweep
+    can pickle it.
+    """
+    gate_error, stage_seeds = point
+    spent = 0
+    for n, stage_seed in zip(stages, stage_seeds):
+        rate, failures = evaluate(gate_error, n, stage_seed)
+        spent += n
+        sign = _interval_sign(gate_error, failures, n, z, gate_cycles)
+        if sign:
+            return rate, sign, spent
+    return rate, 0, spent
+
+
+def find_pseudo_threshold_adaptive(
+    evaluate: Callable[[float, int, int], tuple[float, int]],
+    lower: float,
+    upper: float,
+    trials: int,
+    iterations: int = 12,
+    cycles: int = 1,
+    z: float = 3.0,
+    seed: int | None = 0,
+    parallel: int | bool | None = None,
+) -> PseudoThreshold:
+    """Budget-aware bisection for the crossing ``f(g) = g``.
+
+    ``evaluate(g, n_trials, seed)`` must return ``(per_cycle_rate,
+    failures)`` like :func:`logical_error_per_cycle`.  A bisection step
+    only consumes the *sign* of ``f(g) - g``, so each point first runs
+    at 1/16 of ``trials`` and escalates to the full budget only when
+    the ``z``-sigma Wilson interval of the small run straddles the
+    identity line; points far from the crossing — most of them, early
+    in the search — are decided at a fraction of the cost.  When even
+    the full budget cannot separate a midpoint from the identity, the
+    crossing has been located to within the budget's statistical
+    resolution and the search stops there (``resolution_limited``)
+    instead of bisecting noise.
+
+    Per-stage seeds are spawned deterministically from ``seed``; the
+    two bracket validations run through :func:`~repro.harness.sweep.sweep`
+    (``parallel`` forwards there; ``evaluate`` must then be picklable).
+    """
+    if not 0 <= lower < upper <= 1:
+        raise AnalysisError(f"need 0 <= lower < upper <= 1, got {lower}, {upper}")
+    if trials < 1:
+        raise AnalysisError(f"trials must be >= 1, got {trials}")
+    stages = tuple(dict.fromkeys((max(trials // 16, 1), trials)))
+    gate_cycles = 2 * cycles
+    # One seed tuple per potential evaluation, spawned up front so the
+    # whole search is a pure function of ``seed``.
+    all_seeds = spawn_seeds(seed, (2 + iterations) * len(stages))
+    seed_tuples = [
+        tuple(all_seeds[i * len(stages):(i + 1) * len(stages)])
+        for i in range(2 + iterations)
+    ]
+    measure = partial(
+        _measure_point,
+        evaluate=evaluate,
+        stages=stages,
+        z=z,
+        gate_cycles=gate_cycles,
+    )
+    bracket = sweep(
+        measure,
+        ((lower, seed_tuples[0]), (upper, seed_tuples[1])),
+        parameter="g",
+        parallel=parallel,
+    )
+    (f_low, sign_low, spent_low), (f_high, sign_high, spent_high) = bracket.ys
+    evaluations = 2
+    trials_spent = spent_low + spent_high
+    # An endpoint the full budget cannot separate (sign 0) falls back to
+    # the point-estimate comparison — the fixed-budget behaviour — so
+    # tiny CI budgets still get a best-effort search; only an endpoint
+    # on the wrong side of the identity line is a caller error.
+    if sign_low > 0 or (sign_low == 0 and f_low >= lower):
+        raise AnalysisError(
+            f"error rate {f_low:.3g} at g={lower:.3g} is not below identity; "
+            "lower the bracket"
+        )
+    if sign_high < 0 or (sign_high == 0 and f_high < upper):
+        raise AnalysisError(
+            f"error rate {f_high:.3g} at g={upper:.3g} is not above identity; "
+            "raise the bracket"
+        )
+    low, high = lower, upper
+    for iteration in range(iterations):
+        middle = (low + high) / 2.0
+        _, sign, spent = measure((middle, seed_tuples[2 + iteration]))
+        evaluations += 1
+        trials_spent += spent
+        if sign == 0:
+            return PseudoThreshold(
+                estimate=middle,
+                bracket=(low, high),
+                evaluations=evaluations,
+                trials_spent=trials_spent,
+                resolution_limited=True,
+            )
+        if sign < 0:
+            low = middle
+        else:
+            high = middle
+    return PseudoThreshold(
+        estimate=(low + high) / 2.0,
+        bracket=(low, high),
+        evaluations=evaluations,
+        trials_spent=trials_spent,
+    )
 
 
 def find_pseudo_threshold(
@@ -83,18 +258,25 @@ def find_pseudo_threshold(
     lower: float,
     upper: float,
     iterations: int = 12,
+    parallel: int | bool | None = None,
 ) -> PseudoThreshold:
     """Bisection for the crossing ``error_function(g) = g``.
 
     ``error_function`` must be (statistically) below the identity at
-    ``lower`` and above it at ``upper``.
+    ``lower`` and above it at ``upper``.  The two bracket validations
+    are independent and routed through :func:`~repro.harness.sweep.sweep`;
+    ``parallel`` (same semantics as there — workers must be able to
+    pickle ``error_function``) evaluates them in separate processes.
+    The bisection steps themselves are inherently sequential: each
+    midpoint depends on the previous comparison.
     """
     if not 0 <= lower < upper <= 1:
         raise AnalysisError(f"need 0 <= lower < upper <= 1, got {lower}, {upper}")
-    evaluations = 0
-    f_low = error_function(lower)
-    f_high = error_function(upper)
-    evaluations += 2
+    bracket = sweep(
+        error_function, (lower, upper), parameter="g", parallel=parallel
+    )
+    f_low, f_high = bracket.ys
+    evaluations = 2
     if f_low >= lower:
         raise AnalysisError(
             f"error rate {f_low:.3g} at g={lower:.3g} is not below identity; "

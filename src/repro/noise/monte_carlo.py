@@ -9,11 +9,15 @@ model, vectorised across trials.
 * ``engine="batched"`` — the :class:`~repro.core.simulator.BatchedState`
   uint8 engine: per-op column pack/unpack and a table lookup.
 * ``engine="bitplane"`` — the :class:`~repro.core.bitplane.BitplaneState`
-  engine: the circuit is lowered once by
-  :class:`~repro.core.compiled.CompiledCircuit`, 64 trials ride in each
-  uint64 word, and fault sites are sampled by geometric gap-jumping so
-  the per-op cost scales with the *number of faults*, not the number of
-  trials.  10-50x faster on 100k-trial batches.
+  engine: the circuit is lowered once *per process* through the
+  content-keyed cache of :func:`~repro.core.compiled.compile_circuit`,
+  64 trials ride in each uint64 word, consecutive disjoint ops execute
+  as fused slots (identical gates stacked into one vectorised apply),
+  and each slot draws its fault sites in a single geometric gap-jumping
+  pass over a ``slot_ops x trials`` virtual axis — so the per-slot cost
+  scales with the *number of faults*, not the number of trials or ops.
+  ``REPRO_FUSE=0`` restores the per-op schedule (and its original RNG
+  stream); ``REPRO_COMPILE_CACHE=0`` disables compiled-circuit reuse.
 * ``engine="auto"`` — bitplane for batches of at least
   :data:`AUTO_BITPLANE_MIN_TRIALS` trials, batched below that (tiny
   batches don't amortise packing).
@@ -37,7 +41,7 @@ import numpy as np
 
 from repro.core.bitplane import BitplaneState, mask_from_positions
 from repro.core.circuit import Circuit
-from repro.core.compiled import CompiledCircuit
+from repro.core.compiled import compile_circuit
 from repro.core.simulator import BatchedState
 from repro.errors import SimulationError
 from repro.noise.model import NoiseModel
@@ -168,7 +172,73 @@ class NoisyRunner:
         return NoisyResult(states=states, fault_counts=fault_counts)
 
     def _run_bitplane(self, circuit: Circuit, states: BitplaneState) -> NoisyResult:
-        compiled = CompiledCircuit(circuit)
+        """Execute the fused compiled schedule with per-slot fault draws.
+
+        Each slot's ops touch pairwise disjoint wires, so running the
+        whole slot and then injecting every op's faults is bit-identical
+        to the sequential per-op schedule; the Bernoulli mask for all
+        ``k`` ops of a slot comes from ONE gap-jumping pass over a
+        ``k * trials`` virtual axis (position ``op * trials + trial``),
+        which matches ``k`` independent per-op draws distributionally
+        while costing a single RNG call.  With single-op slots
+        (``REPRO_FUSE=0``) this reduces exactly to the original per-op
+        stream.
+        """
+        compiled = compile_circuit(circuit)
+        if not compiled.fused:
+            return self._run_bitplane_per_op(compiled, states)
+        trials = states.trials
+        padded = states.n_words * 64
+        fault_counts = np.zeros(trials, dtype=np.int64)
+        # Fault sites are data-independent, so the whole run's Bernoulli
+        # masks come from ONE gap-jumping draw per error class over an
+        # ``ops x padded`` virtual axis (``padded`` rounds the trial
+        # range up to whole words; padding draws are discarded).  Each
+        # slot then slices its contiguous run of virtual positions.
+        class_draws: dict[bool, np.ndarray] = {}
+        for is_reset, count in (
+            (False, compiled.n_gate_ops),
+            (True, compiled.n_reset_ops),
+        ):
+            error = (
+                self.model.effective_reset_error
+                if is_reset
+                else self.model.gate_error
+            )
+            if error <= 0.0 or count == 0:
+                continue
+            virtual = _bernoulli_positions(self.rng, error, count * padded)
+            trial_of = virtual % padded
+            real = trial_of[trial_of < trials]
+            if real.size:
+                fault_counts += np.bincount(real, minlength=trials)
+            class_draws[is_reset] = virtual
+        for slot in compiled.slots:
+            if slot.is_reset:
+                for value, wires in slot.resets:
+                    states.reset(wires, value)
+            else:
+                for group in slot.groups:
+                    states.apply_program_stacked(group.program, group.wire_matrix)
+            virtual = class_draws.get(slot.is_reset)
+            if virtual is None:
+                continue
+            base = slot.class_offset * padded
+            low, high = np.searchsorted(
+                virtual, (base, base + len(slot.ops) * padded)
+            )
+            if high > low:
+                self._inject_slot_faults(slot, states, virtual[low:high] - base)
+        return NoisyResult(states=states, fault_counts=fault_counts)
+
+    def _run_bitplane_per_op(self, compiled, states: BitplaneState) -> NoisyResult:
+        """The pre-fusion per-op schedule (``REPRO_FUSE=0``).
+
+        Kept as the reference executor: one Bernoulli draw per op over
+        the exact trial axis, reproducing the original engine's RNG
+        stream bit for bit — the perf gate's baseline and the frozen
+        legacy digest both run through here.
+        """
         trials = states.trials
         fault_counts = np.zeros(trials, dtype=np.int64)
         for op in compiled.schedule:
@@ -186,6 +256,49 @@ class NoisyRunner:
                     states.randomize(op.wires, self.rng, mask=mask)
                     fault_counts[positions] += 1
         return NoisyResult(states=states, fault_counts=fault_counts)
+
+    def _inject_slot_faults(
+        self, slot, states: BitplaneState, virtual: np.ndarray
+    ) -> None:
+        """Scatter one slot's slice of the batched fault draw.
+
+        ``virtual`` holds the slot's sorted fault positions on its local
+        ``k * padded`` axis, so ``virtual >> 6`` is directly a flat
+        (op, word) index.  Equal words form contiguous segments; one
+        reduceat ORs each segment's trial bits into a packed select
+        word, padding bits are masked off, and the replacement bits for
+        all faulted instances of a group come from a single random-word
+        block.
+        """
+        n_words = states.n_words
+        trials = states.trials
+        words = virtual >> 6
+        bits = np.uint64(1) << (virtual & 63).astype(np.uint64)
+        segment_starts = np.concatenate(
+            ([0], np.flatnonzero(words[1:] != words[:-1]) + 1)
+        )
+        select = np.bitwise_or.reduceat(bits, segment_starts)
+        affected = words[segment_starts]
+        op_of = affected // n_words
+        word_of = affected - op_of * n_words
+        if trials % 64:
+            # Faults on padding bits of each op's last word are no-ops.
+            select[word_of == n_words - 1] &= np.uint64((1 << (trials % 64)) - 1)
+        if len(slot.groups) == 1:
+            states.randomize_stacked(
+                slot.groups[0].wire_matrix, self.rng, op_of, word_of, select
+            )
+            return
+        for index, group in enumerate(slot.groups):
+            here = np.flatnonzero(slot.op_group[op_of] == index)
+            if here.size:
+                states.randomize_stacked(
+                    group.wire_matrix,
+                    self.rng,
+                    slot.op_row[op_of[here]],
+                    word_of[here],
+                    select[here],
+                )
 
     def run_from_input(
         self, circuit: Circuit, input_bits: Sequence[int], trials: int

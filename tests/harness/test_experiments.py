@@ -6,7 +6,17 @@ import os
 
 import pytest
 
-from repro.harness.experiments import REGISTRY, run_experiment, trial_budget
+from repro.harness.experiments import (
+    REGISTRY,
+    parallel_workers,
+    run_experiment,
+    trial_budget,
+)
+from repro.harness.experiments_md import (
+    RECORD_PATH,
+    recorded_ids,
+    render_record,
+)
 
 EXPECTED_IDS = {
     "table1",
@@ -45,6 +55,29 @@ class TestRegistry:
         for experiment in REGISTRY.values():
             assert experiment.paper_ref
             assert experiment.description
+
+    def test_parallel_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert parallel_workers() == 0
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        assert parallel_workers() == 3
+        monkeypatch.setenv("REPRO_PARALLEL", "max")
+        assert parallel_workers() is True
+
+
+class TestExperimentsRecord:
+    def test_record_sections_match_registry(self):
+        # EXPERIMENTS.md is generated; its sections must be exactly the
+        # registry ids, in registry order (the CI docs-consistency step
+        # re-runs the registry too — here we just guard the structure).
+        assert RECORD_PATH.exists(), (
+            "EXPERIMENTS.md is missing; regenerate with "
+            "`python -m repro.harness.experiments_md`"
+        )
+        assert recorded_ids(RECORD_PATH.read_text()) == list(REGISTRY)
+
+    def test_render_covers_registry(self):
+        assert recorded_ids(render_record()) == list(REGISTRY)
 
 
 @pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))

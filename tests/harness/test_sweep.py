@@ -2,9 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.harness.sweep import SweepResult, crossing_index, geometric_grid, sweep
+from repro.harness.sweep import (
+    crossing_index,
+    geometric_grid,
+    resolve_workers,
+    spawn_seeds,
+    sweep,
+)
+from repro.errors import AnalysisError
+
+
+def square(x):
+    return x * x
 
 
 class TestSweep:
@@ -16,6 +29,59 @@ class TestSweep:
 
     def test_empty(self):
         assert sweep(lambda x: x, []).rows() == []
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        values = list(range(8))
+        serial = sweep(square, values)
+        parallel = sweep(square, values, parallel=2)
+        assert serial.rows() == parallel.rows()
+
+    def test_parallel_preserves_order(self):
+        result = sweep(square, [5, 3, 1], parallel=2)
+        assert result.xs == (5, 3, 1)
+        assert result.ys == (25, 9, 1)
+
+    def test_worker_resolution(self):
+        assert resolve_workers(None, 10) == 0
+        assert resolve_workers(False, 10) == 0
+        assert resolve_workers(0, 10) == 0
+        assert resolve_workers(1, 10) == 0
+        assert resolve_workers(4, 10) == 4
+        assert resolve_workers(4, 2) == 2  # never more workers than points
+        assert resolve_workers(4, 1) == 0  # one point runs in-process
+        cpus = os.cpu_count() or 1
+        assert resolve_workers(True, 3) == (min(cpus, 3) if cpus >= 2 else 0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(AnalysisError):
+            resolve_workers(-2, 10)
+
+    def test_single_point_runs_in_process(self):
+        # A lambda is not picklable; parallel must degrade to serial
+        # for a single point instead of shipping it to a pool.
+        result = sweep(lambda x: x + 1, [41], parallel=4)
+        assert result.ys == (42,)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct_across_points_and_bases(self):
+        seeds = spawn_seeds(7, 5)
+        assert len(set(seeds)) == 5
+        assert spawn_seeds(8, 5) != seeds
+
+    def test_prefix_stability(self):
+        # Growing a sweep must not reshuffle existing point seeds.
+        assert spawn_seeds(7, 8)[:5] == spawn_seeds(7, 5)
+
+    def test_count_validated(self):
+        with pytest.raises(AnalysisError):
+            spawn_seeds(7, -1)
+        assert spawn_seeds(7, 0) == []
 
 
 class TestGeometricGrid:
@@ -31,6 +97,16 @@ class TestGeometricGrid:
 
     def test_single_point(self):
         assert geometric_grid(3.0, 9.0, 1) == [3.0]
+
+    @pytest.mark.parametrize("points", [0, -3])
+    def test_nonpositive_points_rejected(self, points):
+        with pytest.raises(AnalysisError):
+            geometric_grid(1.0, 2.0, points)
+
+    @pytest.mark.parametrize("start,stop", [(0.0, 1.0), (1.0, 0.0), (-1.0, 2.0)])
+    def test_nonpositive_endpoints_rejected(self, start, stop):
+        with pytest.raises(AnalysisError):
+            geometric_grid(start, stop, 3)
 
 
 class TestCrossing:

@@ -6,7 +6,10 @@ import pytest
 
 from repro.analysis.threshold import threshold
 from repro.harness.threshold_finder import (
+    _PROCESSOR_CACHE,
+    _cycle_processor,
     find_pseudo_threshold,
+    find_pseudo_threshold_adaptive,
     logical_error_per_cycle,
 )
 from repro.errors import AnalysisError
@@ -51,3 +54,95 @@ class TestBisection:
     def test_bracket_ordering_validated(self):
         with pytest.raises(AnalysisError):
             find_pseudo_threshold(lambda g: g, lower=0.5, upper=0.1)
+
+
+class TestProcessorCache:
+    def test_cycle_processor_is_memoised(self):
+        _PROCESSOR_CACHE.clear()
+        assert _cycle_processor(1) is _cycle_processor(1)
+        assert _cycle_processor(2) is not _cycle_processor(1)
+
+    def test_memoisation_honours_cache_knob(self, monkeypatch):
+        _PROCESSOR_CACHE.clear()
+        monkeypatch.setenv("REPRO_COMPILE_CACHE", "0")
+        assert _cycle_processor(1) is not _cycle_processor(1)
+        assert not _PROCESSOR_CACHE
+
+    def test_repeated_calls_reuse_circuit(self):
+        _PROCESSOR_CACHE.clear()
+        first = logical_error_per_cycle(1e-3, trials=500, seed=3)
+        second = logical_error_per_cycle(1e-3, trials=500, seed=3)
+        assert first == second
+
+
+def analytic_evaluator(gate_error, n_trials, seed):
+    # Deterministic pseudo-Monte-Carlo: failures implied by the exact
+    # one-level map, so Wilson intervals shrink with n like real data.
+    from repro.analysis.recursion import one_level
+
+    per_cycle = one_level(gate_error, 11)
+    per_run = 1.0 - (1.0 - per_cycle) ** 2
+    return per_cycle, round(per_run * n_trials)
+
+
+class TestAdaptiveBisection:
+    def test_matches_analytic_crossing(self):
+        # Bisection either converges or stops at the Wilson resolution
+        # of the budget — both land within a percent of the true rho.
+        result = find_pseudo_threshold_adaptive(
+            analytic_evaluator, lower=1e-4, upper=0.5, trials=10**7, iterations=30
+        )
+        assert result.estimate == pytest.approx(threshold(11), rel=1e-2)
+        assert result.trials_spent > 0
+
+    def test_cheap_points_use_reduced_budget(self):
+        result = find_pseudo_threshold_adaptive(
+            analytic_evaluator, lower=1e-4, upper=0.5, trials=10**7, iterations=4
+        )
+        # Every point of the analytic map separates decisively at the
+        # first stage, so the spend is 1/16 of budget per evaluation.
+        assert result.trials_spent == result.evaluations * (10**7 // 16)
+
+    def test_resolution_stop(self):
+        # An evaluator pinned to the identity line can never separate:
+        # the very first midpoint must stop the search and flag it.
+        def on_the_line(gate_error, n_trials, seed):
+            per_run = 1.0 - (1.0 - gate_error) ** 2
+            return gate_error, round(per_run * n_trials)
+
+        def below_until_mid(gate_error, n_trials, seed):
+            if gate_error < 0.05:
+                return 0.0, 0
+            if gate_error > 0.2:
+                return 1.0, n_trials
+            return on_the_line(gate_error, n_trials, seed)
+
+        result = find_pseudo_threshold_adaptive(
+            below_until_mid, lower=0.01, upper=0.4, trials=1000, iterations=8
+        )
+        assert result.resolution_limited
+        # Brackets, a decided midpoint at 0.205, then the stuck one.
+        assert result.evaluations == 4
+        assert result.estimate == pytest.approx(0.1075)
+
+    def test_bracket_validation(self):
+        with pytest.raises(AnalysisError):
+            find_pseudo_threshold_adaptive(
+                lambda g, n, s: (g * 0.5, round(g * 0.5 * n)),
+                lower=0.1,
+                upper=0.2,
+                trials=10**6,
+            )
+        with pytest.raises(AnalysisError):
+            find_pseudo_threshold_adaptive(
+                lambda g, n, s: (min(g * 2.0, 1.0), round(min(g * 2.0, 1.0) * n)),
+                lower=0.1,
+                upper=0.2,
+                trials=10**6,
+            )
+
+    def test_deterministic_for_a_seed(self):
+        kwargs = dict(lower=1e-4, upper=0.5, trials=10**6, iterations=6, seed=9)
+        first = find_pseudo_threshold_adaptive(analytic_evaluator, **kwargs)
+        second = find_pseudo_threshold_adaptive(analytic_evaluator, **kwargs)
+        assert first == second

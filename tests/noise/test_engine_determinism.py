@@ -1,16 +1,22 @@
 """Determinism regression for both Monte-Carlo engines.
 
-Two guarantees are pinned here:
+Three guarantees are pinned here:
 
 1. ``NoisyRunner(seed=k)`` is bit-identical across runs for each
    engine — same ``fault_counts``, same final states.
-2. The exact RNG streams are frozen by SHA-256 digests.  The two
-   engines deliberately consume the generator differently (per-trial
-   uniforms + uint8 bits vs geometric gaps + uint64 words), so any
+2. The exact RNG streams are frozen by SHA-256 digests.  The engines
+   deliberately consume the generator differently (per-trial uniforms +
+   uint8 bits for the batched engine; batched per-error-class geometric
+   draws + per-slot word blocks for the fused bitplane engine), so any
    change to either stream — reordering draws, changing the fault
    sampler, resizing a batch draw — breaks the digest and must be
    called out as a breaking change to reproducibility, since published
-   experiment numbers are seed-dependent.
+   experiment numbers are seed-dependent.  ``REPRO_FUSE=0`` switches
+   the bitplane engine back to the original per-op schedule, whose
+   stream is still frozen to the PR 1 digest.
+3. The compile cache is invisible to results: cached and uncached runs
+   (``REPRO_COMPILE_CACHE``) produce identical digests — the cache only
+   skips redundant lowering, never changes what executes.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import numpy as np
 import pytest
 
 from repro.coding import recovery_circuit
+from repro.core.compiled import clear_compile_cache, compile_cache_stats
 from repro.noise import NoiseModel, NoisyRunner
 
 #: Frozen stream digests for the reference run below.  If an
@@ -28,8 +35,23 @@ from repro.noise import NoiseModel, NoisyRunner
 #: break in CHANGES.md.
 EXPECTED_DIGESTS = {
     "batched": "976e2fba10fd010553ec05734b7f9459a65c50d6789b84ca90b5460156f04993",
-    "bitplane": "668ca3903bc346718cdb2a19debacae88e1db63d386439a11fcb9809bd52bcc1",
+    "bitplane": "ce115c34cea8959e6de21dda74fe1cf4cb39830ac1803452e1367fb39de8e108",
 }
+
+#: The PR 1 bitplane stream (per-op schedule, per-op fault draws),
+#: still reachable through ``REPRO_FUSE=0``.
+UNFUSED_BITPLANE_DIGEST = (
+    "668ca3903bc346718cdb2a19debacae88e1db63d386439a11fcb9809bd52bcc1"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_cache():
+    # Digest tests toggle compile knobs via the environment; make sure
+    # no compiled program built under another configuration leaks in.
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
 
 
 def reference_run(engine: str, seed: int = 2026):
@@ -78,3 +100,25 @@ def test_engine_streams_are_distinct():
     assert run_digest(reference_run("batched")) != run_digest(
         reference_run("bitplane")
     )
+
+
+def test_unfused_stream_matches_pr1(monkeypatch):
+    # REPRO_FUSE=0 must reproduce the original per-op engine bit for
+    # bit — the pre-fusion digest is the proof that fusion is opt-out
+    # without losing old published numbers.
+    monkeypatch.setenv("REPRO_FUSE", "0")
+    clear_compile_cache()
+    assert run_digest(reference_run("bitplane")) == UNFUSED_BITPLANE_DIGEST
+
+
+def test_compile_cache_is_result_invariant(monkeypatch):
+    # Uncached, cache-miss, and cache-hit runs must be digest-identical.
+    monkeypatch.setenv("REPRO_COMPILE_CACHE", "0")
+    uncached = run_digest(reference_run("bitplane"))
+    monkeypatch.setenv("REPRO_COMPILE_CACHE", "1")
+    clear_compile_cache()
+    cold = run_digest(reference_run("bitplane"))
+    assert compile_cache_stats()["misses"] >= 1
+    warm = run_digest(reference_run("bitplane"))
+    assert compile_cache_stats()["hits"] >= 1
+    assert uncached == cold == warm == EXPECTED_DIGESTS["bitplane"]
