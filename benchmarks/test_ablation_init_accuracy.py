@@ -12,7 +12,7 @@ from __future__ import annotations
 from benchmarks.conftest import RESULTS_DIR, run_once
 from repro.harness.experiments import trial_budget
 from repro.harness.tables import format_table
-from repro.harness.threshold_finder import logical_error_per_cycle
+from repro.harness.threshold_finder import measure_cycle_errors
 
 GATE_ERROR = 8e-3
 
@@ -21,11 +21,11 @@ def test_ablation_init_accuracy(benchmark):
     trials = trial_budget()
 
     def compare():
-        noisy_init, _ = logical_error_per_cycle(
-            GATE_ERROR, trials, include_resets=True, seed=93
+        (noisy_init, _), = measure_cycle_errors(
+            ((GATE_ERROR, 93),), trials, include_resets=True
         )
-        clean_init, _ = logical_error_per_cycle(
-            GATE_ERROR, trials, include_resets=False, seed=94
+        (clean_init, _), = measure_cycle_errors(
+            ((GATE_ERROR, 94),), trials, include_resets=False
         )
         return noisy_init, clean_init
 

@@ -5,57 +5,51 @@ Run with::
     python examples/threshold_sweep.py [trials] [workers]
 
 Measures the logical error per gate-plus-recovery cycle of the level-1
-scheme across a geometric grid of gate error rates (optionally on a
-``workers``-process pool — each point owns a spawned child seed, so the
-parallel numbers equal the serial ones), compares it with the Eq.-1
-analytic bound ``3 C(11,2) g^2``, and runs the budget-aware bisection
-for the pseudo-threshold (the crossing ``g_logical = g``).  The
-analytic threshold 1/165 is a lower bound; the measured crossing lands
-above it.
+scheme across a geometric grid of gate error rates, compares it with
+the Eq.-1 analytic bound ``3 C(11,2) g^2``, and runs the budget-aware
+bisection for the pseudo-threshold (the crossing ``g_logical = g``).
+
+The grid goes through the declarative runtime layer: all points share
+the compiled cycle circuit, so ``measure_cycle_errors`` batches them
+into ONE stacked bitplane run (each point still owns its spawned child
+seed, and its numbers are bit-identical to measuring it alone —
+batching is an execution detail, not a statistical one).  ``workers``
+only matters for workloads spanning *distinct* circuits; it is
+forwarded to the bisection's bracket validation here.  The analytic
+threshold 1/165 is a lower bound; the measured crossing lands above it.
 """
 
 from __future__ import annotations
 
 import sys
-from functools import partial
 
 from repro.analysis import logical_error_bound, threshold
 from repro.harness import (
     find_pseudo_threshold_adaptive,
     format_table,
     geometric_grid,
-    logical_error_per_cycle,
+    measure_cycle_errors,
     spawn_seeds,
-    sweep,
 )
-
-
-def sweep_point(point: tuple[float, int], trials: int) -> float:
-    """Logical error at one (gate error, seed) grid point."""
-    gate_error, seed = point
-    rate, _ = logical_error_per_cycle(gate_error, trials, seed=seed)
-    return rate
 
 
 def bisection_point(gate_error: float, n_trials: int, seed: int):
     """Adaptive-bisection evaluator (picklable for parallel brackets)."""
-    return logical_error_per_cycle(gate_error, n_trials, seed=seed)
+    return measure_cycle_errors(((gate_error, seed),), n_trials)[0]
 
 
 def main(trials: int = 40000, workers: int = 0) -> None:
     print(f"analytic threshold (G=11): rho = 1/165 = {threshold(11):.5f}")
     print()
 
+    # One executor group (all points share the cycle circuit), so the
+    # whole grid is one stacked run; ``workers`` only matters for the
+    # bisection's bracket validation below.
     grid = geometric_grid(1e-3, 6e-2, 7)
     points = list(zip(grid, spawn_seeds(13, len(grid))))
-    measured = sweep(
-        partial(sweep_point, trials=trials),
-        points,
-        parameter="(g, seed)",
-        parallel=workers,
-    )
+    measured = measure_cycle_errors(points, trials)
     rows = []
-    for (g, _), rate in measured.rows():
+    for g, (rate, _) in zip(grid, measured):
         bound = logical_error_bound(g, 11)
         rows.append(
             (
@@ -69,7 +63,10 @@ def main(trials: int = 40000, workers: int = 0) -> None:
         format_table(
             ("gate error g", "measured g_logical", "Eq.1 bound", "vs bare gate"),
             rows,
-            title=f"Logical error per cycle ({trials} trials per point)",
+            title=(
+                f"Logical error per cycle ({trials} trials per point, "
+                "one stacked run)"
+            ),
         )
     )
     print()

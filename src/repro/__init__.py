@@ -18,6 +18,11 @@ P. O. Boykin and V. P. Roychowdhury, "Reversible Fault-Tolerant Logic"
   Section 4;
 * :mod:`repro.baselines` — the unprotected circuit model and a von
   Neumann NAND-multiplexing baseline;
+* :mod:`repro.runtime` — the declarative execution layer: frozen
+  :class:`~repro.runtime.RunSpec` points, the environment-hydrated
+  :class:`~repro.runtime.ExecutionPolicy`, and an
+  :class:`~repro.runtime.Executor` that batches points sharing a
+  compiled circuit into one stacked bitplane array;
 * :mod:`repro.harness` — statistics, sweeps, pseudo-threshold search,
   and the experiment registry that maps every table and figure of the
   paper to reproduction code.

@@ -13,13 +13,14 @@ through the Monte-Carlo engine and counting corrupted outputs.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
-from repro.core import library
 from repro.core.circuit import Circuit
-from repro.core.simulator import BatchedState
 from repro.noise.model import NoiseModel
-from repro.noise.monte_carlo import NoisyRunner
+from repro.noise.monte_carlo import any_wire_differs_predicate
+from repro.runtime import ExecutionPolicy, Executor, RunSpec
 from repro.errors import AnalysisError
 
 
@@ -84,12 +85,19 @@ def simulate_unprotected(
     Returns the fraction of trials whose output differs from the
     input anywhere — the empirical ``1 - (1-g)**T`` (slightly below it,
     since a fault can be silent or cancelled).  ``engine`` selects the
-    Monte-Carlo backend (see :mod:`repro.noise.monte_carlo`).
+    Monte-Carlo backend (see :mod:`repro.noise.monte_carlo`); the point
+    is declared as a :class:`~repro.runtime.RunSpec` and executed
+    through :class:`~repro.runtime.Executor`.
     """
     circuit = identity_module(module_gates, n_wires)
     input_bits = tuple(i % 2 for i in range(n_wires))
-    runner = NoisyRunner(NoiseModel(gate_error=gate_error), seed, engine=engine)
-    result = runner.run_from_input(circuit, input_bits, trials)
-    expected = np.asarray(input_bits, dtype=np.uint8)
-    failures = (result.states.array != expected).any(axis=1)
-    return float(failures.mean())
+    spec = RunSpec(
+        circuit=circuit,
+        input_bits=input_bits,
+        observable=any_wire_differs_predicate(range(n_wires), input_bits),
+        noise=NoiseModel(gate_error=gate_error),
+        trials=trials,
+        seed=seed,
+    )
+    policy = replace(ExecutionPolicy.from_env(), engine=engine, parallel=None)
+    return Executor(policy).run_one(spec).failure_fraction

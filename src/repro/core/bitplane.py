@@ -224,7 +224,12 @@ class BitplaneState:
             for wire, plane in zip(rows, outputs):
                 self.planes[wire] = (plane & mask) | (self.planes[wire] & keep)
 
-    def apply_program_stacked(self, program: tuple, wire_matrix: np.ndarray) -> None:
+    def apply_program_stacked(
+        self,
+        program: tuple,
+        wire_matrix: np.ndarray,
+        row_slices: tuple = (),
+    ) -> None:
         """Apply one plane program to ``k`` stacked gate instances.
 
         ``wire_matrix`` has shape ``(k, arity)``; column ``i`` selects
@@ -232,14 +237,33 @@ class BitplaneState:
         program is evaluated once on ``(k, n_words)`` blocks instead of
         ``k`` times on single planes.  Instances must touch pairwise
         disjoint wires (guaranteed by the fusion pass).
+
+        ``row_slices`` (from :class:`~repro.core.compiled.SlotGroup`)
+        replaces the fancy-indexed gather/scatter with plane *views*
+        for positions whose wires form an arithmetic progression — the
+        transversal and per-codeword patterns always do — so those
+        positions move no bytes on input.  All outputs are computed
+        before any write-back, so view inputs are safe.
         """
         if wire_matrix.shape[0] == 1:
             self.apply_program(program, wire_matrix[0])
             return
-        inputs = [self.planes[wire_matrix[:, i]] for i in range(wire_matrix.shape[1])]
+        arity = wire_matrix.shape[1]
+        if row_slices:
+            inputs = [
+                self.planes[row_slices[i]]
+                if row_slices[i] is not None
+                else self.planes[wire_matrix[:, i]]
+                for i in range(arity)
+            ]
+        else:
+            inputs = [self.planes[wire_matrix[:, i]] for i in range(arity)]
         outputs = apply_plane_program(program, inputs)
         for i, block in enumerate(outputs):
-            self.planes[wire_matrix[:, i]] = block
+            if row_slices and row_slices[i] is not None:
+                self.planes[row_slices[i]] = block
+            else:
+                self.planes[wire_matrix[:, i]] = block
 
     def apply_gate(
         self,
@@ -309,10 +333,11 @@ class BitplaneState:
     def randomize_stacked(
         self,
         wire_matrix: np.ndarray,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None,
         instance_of: np.ndarray,
         word_of: np.ndarray,
         select: np.ndarray,
+        random_words: np.ndarray | None = None,
     ) -> None:
         """Randomize faulted sites of stacked gate instances in one draw.
 
@@ -323,11 +348,18 @@ class BitplaneState:
         ``(arity, m)`` block of random words replaces the selected bits
         on every wire of each faulted instance — the per-slot batched
         counterpart of :meth:`randomize`.
+
+        ``random_words`` supplies a pre-drawn ``(arity, m)`` block
+        instead of drawing from ``rng`` — the multi-point executor uses
+        this to concatenate many points' sites into one scatter while
+        every point's replacement bits still come from its own
+        generator.
         """
         arity = wire_matrix.shape[1]
-        random_words = rng.integers(
-            0, 2**64, size=(arity, instance_of.size), dtype=np.uint64
-        )
+        if random_words is None:
+            random_words = rng.integers(
+                0, 2**64, size=(arity, instance_of.size), dtype=np.uint64
+            )
         rows = wire_matrix.T[:, instance_of]
         if self.planes.flags.c_contiguous:
             flat = self.planes.reshape(-1)

@@ -212,17 +212,35 @@ def apply_plane_program(
         elif tag == "anf":
             invert, monomials = expression[1], expression[2]
             accumulator = None
+            scratch = None
             for monomial in monomials:
                 if len(monomial) == 1:
                     term = planes[monomial[0]]
-                else:
-                    term = planes[monomial[0]] & planes[monomial[1]]
-                    for position in monomial[2:]:
-                        term &= planes[position]
+                    if accumulator is None:
+                        accumulator = term.copy()
+                    else:
+                        accumulator ^= term
+                    continue
                 if accumulator is None:
-                    accumulator = term.copy() if term is planes[monomial[0]] else term
+                    # First AND monomial starts the accumulator fresh.
+                    accumulator = planes[monomial[0]] & planes[monomial[1]]
+                    for position in monomial[2:]:
+                        accumulator &= planes[position]
+                    continue
+                # Later AND monomials reuse one scratch buffer instead
+                # of allocating a temporary per monomial — this runs on
+                # whole stacked batches, so allocations are the cost.
+                if scratch is None:
+                    scratch = np.bitwise_and(
+                        planes[monomial[0]], planes[monomial[1]]
+                    )
                 else:
-                    accumulator ^= term
+                    np.bitwise_and(
+                        planes[monomial[0]], planes[monomial[1]], out=scratch
+                    )
+                for position in monomial[2:]:
+                    scratch &= planes[position]
+                accumulator ^= scratch
             if accumulator is None:  # constant: impossible for reversible gates
                 accumulator = np.zeros_like(planes[0])
             if invert:
@@ -230,15 +248,19 @@ def apply_plane_program(
             outputs.append(accumulator)
         else:  # "dnf"
             accumulator = np.zeros_like(planes[0])
+            scratch = None
             for pattern in expression[1]:
                 first = _input_bit(pattern, arity, 0)
-                term = (planes[0] if first else complement(0)).copy()
+                if scratch is None:
+                    scratch = (planes[0] if first else complement(0)).copy()
+                else:
+                    scratch[...] = planes[0] if first else complement(0)
                 for position in range(1, arity):
                     if _input_bit(pattern, arity, position):
-                        term &= planes[position]
+                        scratch &= planes[position]
                     else:
-                        term &= complement(position)
-                accumulator |= term
+                        scratch &= complement(position)
+                accumulator |= scratch
             outputs.append(accumulator)
     return outputs
 
@@ -266,10 +288,36 @@ class SlotGroup:
     of the ``j``-th stacked gate instance.  Fancy-indexing the state's
     planes with a column of this matrix yields a ``(k, n_words)`` block,
     so the whole group costs one program evaluation regardless of ``k``.
+
+    ``row_slices`` holds one ``slice`` per gate position whenever that
+    position's wires form an arithmetic progression with positive step
+    (the transversal and per-codeword patterns always do — stride 9),
+    letting the engine gather and scatter plane *views* instead of
+    fancy-indexed copies; positions that don't qualify carry ``None``.
     """
 
     program: tuple[PlaneExpr, ...]
     wire_matrix: np.ndarray
+    row_slices: tuple[slice | None, ...] = ()
+
+
+def _column_slices(wire_matrix: np.ndarray) -> tuple[slice | None, ...]:
+    """A basic-slice view per wire-matrix column, where one exists."""
+    k = wire_matrix.shape[0]
+    slices: list[slice | None] = []
+    for column in wire_matrix.T:
+        if k == 1:
+            slices.append(slice(int(column[0]), int(column[0]) + 1))
+            continue
+        step = int(column[1]) - int(column[0])
+        if step > 0 and all(
+            int(column[j + 1]) - int(column[j]) == step for j in range(k - 1)
+        ):
+            start = int(column[0])
+            slices.append(slice(start, start + k * step, step))
+        else:
+            slices.append(None)
+    return tuple(slices)
 
 
 @dataclass(frozen=True, eq=False)
@@ -317,7 +365,8 @@ def _build_slot(ops: list[CompiledOp], class_offset: int = 0) -> FusedSlot:
     groups = tuple(
         SlotGroup(
             program=key if not ops[0].is_reset else (),
-            wire_matrix=np.asarray(by_key[key], dtype=np.intp),
+            wire_matrix=(matrix := np.asarray(by_key[key], dtype=np.intp)),
+            row_slices=_column_slices(matrix),
         )
         for key in order
     )
@@ -425,7 +474,9 @@ class CompiledCircuit:
                     state.reset(wires, value)
             else:
                 for group in slot.groups:
-                    state.apply_program_stacked(group.program, group.wire_matrix)
+                    state.apply_program_stacked(
+                        group.program, group.wire_matrix, group.row_slices
+                    )
         return state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -513,16 +564,23 @@ class CompileCache:
 _COMPILE_CACHE = CompileCache()
 
 
-def compile_circuit(circuit: Circuit, fuse: bool | None = None) -> CompiledCircuit:
+def compile_circuit(
+    circuit: Circuit, fuse: bool | None = None, cache: bool | None = None
+) -> CompiledCircuit:
     """Compile ``circuit``, reusing the process-wide cache when enabled.
 
-    ``fuse=None`` follows ``REPRO_FUSE`` (default on).  With
-    ``REPRO_COMPILE_CACHE=0`` every call recompiles; results are
-    bit-identical either way — the cache only skips redundant lowering.
+    ``fuse=None`` follows ``REPRO_FUSE`` and ``cache=None`` follows
+    ``REPRO_COMPILE_CACHE`` (both default on); explicit booleans — the
+    way :class:`~repro.runtime.ExecutionPolicy` calls — bypass the
+    environment reads entirely.  With caching off every call
+    recompiles; results are bit-identical either way — the cache only
+    skips redundant lowering.
     """
     if fuse is None:
         fuse = fusion_enabled()
-    if not compile_cache_enabled():
+    if cache is None:
+        cache = compile_cache_enabled()
+    if not cache:
         return CompiledCircuit(circuit, fuse=fuse)
     return _COMPILE_CACHE.get(circuit, fuse)
 

@@ -4,6 +4,7 @@ from repro.harness.experiments import (
     REGISTRY,
     Experiment,
     ExperimentResult,
+    execution_policy,
     parallel_workers,
     run_experiment,
     trial_budget,
@@ -19,15 +20,19 @@ from repro.harness.sweep import (
 from repro.harness.tables import format_table, paper_vs_measured
 from repro.harness.threshold_finder import (
     PseudoThreshold,
+    cycle_error_specs,
     find_pseudo_threshold,
     find_pseudo_threshold_adaptive,
     logical_error_per_cycle,
+    measure_cycle_errors,
+    per_cycle_rate,
 )
 
 __all__ = [
     "REGISTRY",
     "Experiment",
     "ExperimentResult",
+    "execution_policy",
     "parallel_workers",
     "run_experiment",
     "trial_budget",
@@ -42,7 +47,10 @@ __all__ = [
     "format_table",
     "paper_vs_measured",
     "PseudoThreshold",
+    "cycle_error_specs",
     "find_pseudo_threshold",
     "find_pseudo_threshold_adaptive",
     "logical_error_per_cycle",
+    "measure_cycle_errors",
+    "per_cycle_rate",
 ]

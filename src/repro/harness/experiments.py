@@ -5,28 +5,30 @@ Each experiment reproduces one artefact of the paper and returns
 suite runs these functions and prints the comparisons; EXPERIMENTS.md
 is the curated record of their output.
 
-Monte-Carlo experiments read their trial budget from the environment
-variable ``REPRO_TRIALS`` (default 100000) so CI-speed and
-high-precision runs use the same code, and their simulation engine
-from ``REPRO_ENGINE`` (default ``auto``; see
-:mod:`repro.noise.monte_carlo` for the engines and the RNG-stream
-caveat).  The default budget assumes the bit-parallel engine.  One
+Monte-Carlo experiments hydrate one
+:class:`~repro.runtime.ExecutionPolicy` from the environment
+(:meth:`~repro.runtime.ExecutionPolicy.from_env` — ``REPRO_TRIALS``
+for the budget, ``REPRO_ENGINE`` for the engine, ``REPRO_PARALLEL``
+for the pool, ``REPRO_FUSE``/``REPRO_COMPILE_CACHE`` for the
+compiler), so CI-speed and high-precision runs use the same code.  The
+default budget (100000) assumes the bit-parallel engine.  One
 exception to the budget: fig2's g^2-scaling row floors its trials at
 30000 regardless of ``REPRO_TRIALS``, because it divides two small
 failure counts and is meaningless below that.
 
 Independent Monte-Carlo points (fig2's two error rates, fig3's two
 concatenation levels, mc-threshold's bracket) are expressed as
-module-level point functions routed through
-:func:`~repro.harness.sweep.sweep`; setting ``REPRO_PARALLEL`` to a
-worker count (or ``max``) evaluates them in a process pool.  Every
-point carries its own frozen seed, so parallel runs produce exactly
-the serial numbers.
+:class:`~repro.runtime.RunSpec` batches through
+:class:`~repro.runtime.Executor`: points sharing a circuit (fig2)
+evaluate in one stacked plane array, and distinct circuits (fig3's two
+levels) fan out to a process pool when ``REPRO_PARALLEL`` is set to a
+worker count (or ``max``).  Every point carries its own frozen seed
+and each point's numbers are independent of how it was batched or
+scheduled, so parallel runs produce exactly the serial numbers.
 """
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from functools import partial
@@ -95,76 +97,74 @@ from repro.noise import (
     iter_single_faults,
     run_with_faults,
 )
-from repro.harness.sweep import sweep
 from repro.harness.threshold_finder import (
     find_pseudo_threshold_adaptive,
-    logical_error_per_cycle,
+    measure_cycle_errors,
+)
+from repro.runtime import (
+    DecodedMismatchObservable,
+    ExecutionPolicy,
+    Executor,
+    RunSpec,
 )
 from repro.errors import ReproError
 
 Row = tuple[str, object, object, bool]
 
 
-# Module-level sweep points (process-pool workers must pickle them).
+# Module-level spec builders and evaluators (process-pool workers must
+# be able to pickle everything a spec carries).
 
 
-def _logical_error_point(
-    point: tuple[float, int], trials: int, engine: str
-) -> float:
-    """One (gate_error, seed) sweep point of the level-1 logical error."""
-    gate_error, seed = point
-    rate, _ = logical_error_per_cycle(gate_error, trials, seed=seed, engine=engine)
-    return rate
-
-
-def _concatenation_failure_point(
-    level: int, trials: int, gate_error: float, engine: str
-) -> float:
-    """Decoded failure fraction of one noisy level-``level`` MAJ gate."""
+def _concatenation_spec(level: int, trials: int, gate_error: float) -> RunSpec:
+    """Spec for the decoded failure of one noisy level-``level`` MAJ gate."""
     computation = ConcatenatedComputation(3, level)
     physical = computation.physical_input((1, 0, 1))
     computation.apply(MAJ, 0, 1, 2)
-    runner = NoisyRunner(
-        NoiseModel(gate_error=gate_error), seed=21 + level, engine=engine
+    expected = tuple(MAJ.apply((1, 0, 1)))
+    return RunSpec(
+        circuit=computation.circuit,
+        input_bits=physical,
+        observable=DecodedMismatchObservable(computation, expected),
+        noise=NoiseModel(gate_error=gate_error),
+        trials=trials,
+        seed=21 + level,
     )
-    result = runner.run_from_input(computation.circuit, physical, trials)
-    decoded = computation.decode_batch(result.states)
-    expected_bits = np.asarray(MAJ.apply((1, 0, 1)), dtype=np.uint8)
-    return float((decoded != expected_bits).any(axis=1).mean())
 
 
 def _staged_error_point(
-    gate_error: float, n_trials: int, seed: int, engine: str
+    gate_error: float, n_trials: int, seed: int, policy: ExecutionPolicy
 ) -> tuple[float, int]:
     """Adaptive-bisection evaluator: one budget stage at one error rate."""
-    return logical_error_per_cycle(
-        gate_error, n_trials, include_resets=True, seed=seed, engine=engine
-    )
+    return measure_cycle_errors(
+        ((gate_error, seed),), n_trials, include_resets=True, policy=policy
+    )[0]
+
+
+def execution_policy() -> ExecutionPolicy:
+    """The experiments' execution policy, hydrated from ``REPRO_*``."""
+    return ExecutionPolicy.from_env()
 
 
 def trial_budget(default: int = 100000) -> int:
     """Monte-Carlo trial count, overridable via ``REPRO_TRIALS``."""
-    return int(os.environ.get("REPRO_TRIALS", default))
+    return ExecutionPolicy.from_env(trials=default).trials
 
 
 def engine_choice(default: str = "auto") -> str:
     """Monte-Carlo engine, overridable via ``REPRO_ENGINE``."""
-    return os.environ.get("REPRO_ENGINE", default)
+    return ExecutionPolicy.from_env(engine=default).engine
 
 
 def parallel_workers(default: int = 0) -> int | bool:
-    """Sweep worker count from ``REPRO_PARALLEL`` (0 = in-process).
+    """Pool worker count from ``REPRO_PARALLEL`` (0 = in-process).
 
     ``REPRO_PARALLEL=max`` uses one worker per CPU.  The default stays
     serial: the registered experiments are single-digit-second affairs
     where pool startup would dominate, but large custom sweeps benefit.
     """
-    value = os.environ.get("REPRO_PARALLEL")
-    if value is None:
-        return default
-    if value.strip().lower() == "max":
-        return True
-    return int(value)
+    value = ExecutionPolicy.from_env().parallel
+    return default if value is None else value
 
 
 @dataclass
@@ -343,14 +343,12 @@ def experiment_fig2() -> ExperimentResult:
     # bit-parallel engine makes 30k trials cheap enough to always afford.
     trials = max(trial_budget(), 30000)
     g_small, g_large = 2.5e-3, 5e-3
-    engine = engine_choice()
-    scaling = sweep(
-        partial(_logical_error_point, trials=trials, engine=engine),
-        ((g_small, 11), (g_large, 12)),
-        parameter="(g, seed)",
-        parallel=parallel_workers(),
+    # Both points share the cycle circuit, so the executor runs them as
+    # one stacked plane array; each point keeps its frozen seed.
+    scaling = measure_cycle_errors(
+        ((g_small, 11), (g_large, 12)), trials, policy=execution_policy()
     )
-    error_small, error_large = scaling.ys
+    (error_small, _), (error_large, _) = scaling
     ratio = error_large / error_small if error_small > 0 else float("inf")
     quadratic = 2.0 <= ratio <= 8.0
     rows.append(
@@ -388,18 +386,15 @@ def experiment_fig3() -> ExperimentResult:
     # any level-1 failures at all.
     trials = min(max(trial_budget(), 30000), 100000)
     gate_error = 4e-3
-    levels = sweep(
-        partial(
-            _concatenation_failure_point,
-            trials=trials,
-            gate_error=gate_error,
-            engine=engine_choice(),
-        ),
-        (1, 2),
-        parameter="level",
-        parallel=parallel_workers(),
+    # Two distinct circuits -> two executor groups; REPRO_PARALLEL fans
+    # the groups out to a process pool.
+    results = Executor(execution_policy()).run(
+        [_concatenation_spec(level, trials, gate_error) for level in (1, 2)]
     )
-    failures = dict(levels.rows())
+    failures = {
+        level: result.failure_fraction
+        for level, result in zip((1, 2), results)
+    }
     suppressed = failures[2] < failures[1]
     rows.append(
         (
@@ -779,7 +774,7 @@ def experiment_baseline() -> ExperimentResult:
 def experiment_mc_threshold() -> ExperimentResult:
     trials = min(trial_budget(), 100000)
     result = find_pseudo_threshold_adaptive(
-        partial(_staged_error_point, engine=engine_choice()),
+        partial(_staged_error_point, policy=execution_policy()),
         lower=2e-3,
         upper=8e-2,
         trials=trials,

@@ -8,16 +8,27 @@ them qualify, lambdas and closures do not.  Results are returned in
 grid order either way, so a parallel sweep is bit-identical to the
 serial one whenever each point seeds its own RNG stream.
 
+A failing point — serial or pooled — surfaces as an
+:class:`~repro.errors.AnalysisError` naming the offending parameter
+value, with the original exception chained as ``__cause__``, so a
+failure among dozens of pool workers is attributable to its grid
+point.
+
 ``spawn_seeds`` derives per-point child seeds from one base seed via
 :class:`numpy.random.SeedSequence`, which is how a parallel sweep keeps
 determinism: every point owns an independent, reproducible stream, and
 the engine-level frozen digests (per-point, per-seed) are untouched by
 how the points are scheduled.
+
+Monte-Carlo point functions that share a circuit are better expressed
+as :class:`~repro.runtime.RunSpec` batches through
+:class:`~repro.runtime.Executor`, which stacks the points into one
+plane array instead of re-simulating per point; ``sweep`` remains the
+generic grid evaluator for everything else.
 """
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -25,6 +36,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.runtime.executor import resolve_workers
+
+__all__ = [
+    "SweepResult",
+    "crossing_index",
+    "geometric_grid",
+    "resolve_workers",
+    "spawn_seeds",
+    "sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -43,18 +64,10 @@ class SweepResult:
         return len(self.xs)
 
 
-def resolve_workers(parallel: int | bool | None, points: int) -> int:
-    """Worker count for a sweep: 0 means run serially in-process."""
-    if parallel is None or parallel is False:
-        return 0
-    if parallel is True:
-        workers = os.cpu_count() or 1
-    else:
-        workers = int(parallel)
-        if workers < 0:
-            raise AnalysisError(f"parallel must be >= 0, got {parallel}")
-    workers = min(workers, points)
-    return 0 if workers < 2 else workers
+def _point_error(parameter: str, x, exc: Exception) -> AnalysisError:
+    return AnalysisError(
+        f"sweep point {parameter}={x!r} failed: {type(exc).__name__}: {exc}"
+    )
 
 
 def sweep(
@@ -70,14 +83,31 @@ def sweep(
     one worker per CPU.  Parallel evaluation requires ``function`` to
     be picklable and returns points in grid order, so results are
     identical to a serial sweep.
+
+    A point that raises is re-raised as an :class:`AnalysisError`
+    carrying the offending parameter value (original exception
+    chained), in both serial and pooled modes.
     """
     xs = tuple(values)
     workers = resolve_workers(parallel, len(xs))
     if workers == 0:
-        ys = tuple(function(x) for x in xs)
+        ys = []
+        for x in xs:
+            try:
+                ys.append(function(x))
+            except Exception as exc:
+                raise _point_error(parameter, x, exc) from exc
+        ys = tuple(ys)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            ys = tuple(pool.map(function, xs))
+            futures = [pool.submit(function, x) for x in xs]
+            ys = []
+            for x, future in zip(xs, futures):
+                try:
+                    ys.append(future.result())
+                except Exception as exc:
+                    raise _point_error(parameter, x, exc) from exc
+            ys = tuple(ys)
     return SweepResult(parameter=parameter, xs=xs, ys=ys)
 
 

@@ -10,8 +10,9 @@ module estimates it by bisection over Monte-Carlo estimates.
 
 from __future__ import annotations
 
-from collections.abc import Callable
-from dataclasses import dataclass
+import warnings
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, replace
 from functools import partial
 
 import numpy as np
@@ -22,7 +23,12 @@ from repro.core.compiled import compile_cache_enabled
 from repro.harness.stats import wilson_interval
 from repro.harness.sweep import spawn_seeds, sweep
 from repro.noise.model import NoiseModel
-from repro.noise.monte_carlo import NoisyRunner
+from repro.runtime import (
+    DecodeObservable,
+    ExecutionPolicy,
+    Executor,
+    RunSpec,
+)
 from repro.errors import AnalysisError
 
 #: Built cycle processors keyed by cycle count.  A bisection or sweep
@@ -53,6 +59,83 @@ def _cycle_processor(cycles: int) -> LogicalProcessor:
     return processor
 
 
+def cycle_error_specs(
+    points: Sequence[tuple[float, int | np.random.Generator | None]],
+    trials: int,
+    cycles: int = 1,
+    include_resets: bool = True,
+) -> list[RunSpec]:
+    """Declarative specs for the cycle-error measurement at ``points``.
+
+    Each point is a ``(gate_error, seed)`` pair; every spec shares the
+    memoised cycle circuit, so an :class:`~repro.runtime.Executor`
+    evaluates the whole batch as ONE stacked bitplane array (the
+    multi-point sweep workload pays one program execution, not one per
+    point).
+    """
+    if cycles < 1:
+        raise AnalysisError(f"cycles must be >= 1, got {cycles}")
+    if trials < 1:
+        raise AnalysisError(f"trials must be >= 1, got {trials}")
+    # The reset operations always run (the ancillas must be re-zeroed
+    # between cycles); ``include_resets`` only selects whether they are
+    # as noisy as gates (G = 11) or perfectly accurate (G = 9).
+    processor = _cycle_processor(cycles)
+    physical = processor.physical_input(_CYCLE_INPUT)
+    observable = DecodeObservable(processor, _CYCLE_INPUT)
+    return [
+        RunSpec(
+            circuit=processor.circuit,
+            input_bits=physical,
+            observable=observable,
+            noise=NoiseModel(
+                gate_error=gate_error,
+                reset_error=None if include_resets else 0.0,
+            ),
+            trials=trials,
+            seed=seed,
+        )
+        for gate_error, seed in points
+    ]
+
+
+def per_cycle_rate(failures: int, trials: int, cycles: int) -> float:
+    """Normalise a per-run failure count to a per-gate-cycle rate.
+
+    Two logical gates per loop iteration; failures accumulate per gate
+    cycle, so ``1 - (1 - f/n)**(1 / (2 * cycles))``.
+    """
+    return 1.0 - (1.0 - failures / trials) ** (1.0 / (2 * cycles))
+
+
+def measure_cycle_errors(
+    points: Sequence[tuple[float, int | np.random.Generator | None]],
+    trials: int,
+    cycles: int = 1,
+    include_resets: bool = True,
+    policy: ExecutionPolicy | None = None,
+) -> list[tuple[float, int]]:
+    """Measured logical error of ``cycles`` gate+recovery cycles.
+
+    Builds a single logical bit that undergoes ``cycles`` logical
+    identity-preserving gate cycles (a transversal self-inverse pair
+    counts per the paper as a gate op on the codeword followed by
+    recovery) and returns ``(per_cycle_rate, failures)`` for each
+    ``(gate_error, seed)`` point, in point order.
+
+    All points share one compiled circuit, so the executor evaluates
+    them in a single stacked plane array; each point's numbers are
+    bit-identical to measuring it alone.  ``policy`` defaults to
+    :meth:`~repro.runtime.ExecutionPolicy.from_env`.
+    """
+    specs = cycle_error_specs(points, trials, cycles, include_resets)
+    results = Executor(policy).run(specs)
+    return [
+        (per_cycle_rate(result.failures, trials, cycles), result.failures)
+        for result in results
+    ]
+
+
 def logical_error_per_cycle(
     gate_error: float,
     trials: int,
@@ -61,40 +144,29 @@ def logical_error_per_cycle(
     seed: int | np.random.Generator | None = 0,
     engine: str = "auto",
 ) -> tuple[float, int]:
-    """Measured logical error of ``cycles`` gate+recovery cycles.
+    """Deprecated single-point shim over :func:`measure_cycle_errors`.
 
-    Builds a single logical bit that undergoes ``cycles`` logical
-    identity-preserving gate cycles (a transversal self-inverse pair
-    counts per the paper as a gate op on the codeword followed by
-    recovery) and returns the per-cycle logical failure rate.
-
-    ``engine`` selects the Monte-Carlo backend (see
-    :mod:`repro.noise.monte_carlo`); estimates are engine-dependent at
-    the statistical-fluctuation level only.  The cycle circuit is built
-    and lowered once per process, so repeated calls at different
-    ``gate_error`` (the bisection/sweep workload) pay only for the
-    Monte-Carlo trials themselves.
+    .. deprecated:: PR 3
+        Use :func:`measure_cycle_errors` (which batches many noise
+        points into one stacked run) or build a
+        :class:`~repro.runtime.RunSpec` directly.  This shim keeps the
+        PR 2 signature and, because a single-point executor run is
+        bit-identical to the classic runner, reproduces the PR 2
+        numbers bit for bit — ``engine`` wins over ``REPRO_ENGINE``,
+        the remaining knobs come from the environment as before.
     """
-    if cycles < 1:
-        raise AnalysisError(f"cycles must be >= 1, got {cycles}")
-    # The reset operations always run (the ancillas must be re-zeroed
-    # between cycles); ``include_resets`` only selects whether they are
-    # as noisy as gates (G = 11) or perfectly accurate (G = 9).
-    processor = _cycle_processor(cycles)
-    physical = processor.physical_input(_CYCLE_INPUT)
-    model = NoiseModel(
-        gate_error=gate_error,
-        reset_error=None if include_resets else 0.0,
+    warnings.warn(
+        "logical_error_per_cycle is deprecated; use "
+        "repro.harness.measure_cycle_errors or a repro.runtime.RunSpec",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    runner = NoisyRunner(model, seed, engine=engine)
-    result = runner.run_from_input(processor.circuit, physical, trials)
-    failures = processor.count_decode_failures(result.states, _CYCLE_INPUT)
-    # Two logical gates per loop iteration; failures accumulate per
-    # gate cycle, so normalise to one cycle.
-    per_run = failures / trials
-    gate_cycles = 2 * cycles
-    per_cycle = 1.0 - (1.0 - per_run) ** (1.0 / gate_cycles)
-    return per_cycle, failures
+    policy = replace(
+        ExecutionPolicy.from_env(), engine=engine, parallel=None
+    )
+    return measure_cycle_errors(
+        ((gate_error, seed),), trials, cycles, include_resets, policy=policy
+    )[0]
 
 
 @dataclass(frozen=True)

@@ -26,10 +26,20 @@ RNG-stream caveat: all entry points take an explicit seed or
 :class:`numpy.random.Generator` so every experiment is reproducible bit
 for bit — but the two engines consume the generator differently (the
 batched engine draws per-trial uniforms and uint8 bits; the bitplane
-engine draws geometric gaps and whole uint64 words).  Equal seeds give
-statistically identical results across engines, never bit-identical
-realisations; digests of noisy runs are only comparable within one
-engine.  ``tests/noise/test_engine_determinism`` pins both streams.
+engine draws geometric gaps — or, at fault probabilities of at least
+:data:`DENSE_PROBABILITY`, direct thresholded uniforms — and whole
+uint64 words).  Equal seeds give statistically identical results across
+engines, never bit-identical realisations; digests of noisy runs are
+only comparable within one engine.
+``tests/noise/test_engine_determinism`` pins both streams.
+
+This module is the single-point *kernel*; multi-point workloads go
+through :mod:`repro.runtime`, whose executor stacks all points sharing
+a compiled circuit into one plane array while drawing each point's
+faults from its own generator in exactly this module's order — every
+stacked point is bit-identical to a solo run.
+:func:`estimate_failure_probability` survives as a deprecated shim over
+that layer.
 """
 
 from __future__ import annotations
@@ -51,6 +61,18 @@ ENGINES = ("auto", "batched", "bitplane")
 
 #: Smallest batch for which ``engine="auto"`` picks the bitplane engine.
 AUTO_BITPLANE_MIN_TRIALS = 256
+
+#: Success probability at which :func:`_bernoulli_positions` switches
+#: from geometric gap-jumping to a direct thresholded draw.  Gap
+#: jumping costs one geometric draw *per success* (~14 ns vectorised,
+#: since NumPy evaluates ``log`` over the whole gap batch at once)
+#: while the dense draw costs one uniform per *trial* (~3 ns), so the
+#: measured crossover sits near ``p = 0.2``–``0.25`` — far above the
+#: ``g ~ 1e-2`` point where the gap-jumper merely starts to dominate
+#: the runtime *profile*.  The switch engages where it actually wins;
+#: every engine digest and threshold experiment stays in the sparse
+#: regime.
+DENSE_PROBABILITY = 0.25
 
 
 def _validate_engine(engine: str) -> None:
@@ -75,18 +97,38 @@ def _as_generator(seed: int | np.random.Generator | None) -> np.random.Generator
 
 
 def _bernoulli_positions(
-    rng: np.random.Generator, probability: float, trials: int
+    rng: np.random.Generator,
+    probability: float,
+    trials: int,
+    dense: bool | None = None,
 ) -> np.ndarray:
-    """Indices of successes among ``trials`` Bernoulli draws.
+    """Sorted indices of successes among ``trials`` Bernoulli draws.
 
-    Samples geometric gaps between successes instead of one uniform per
-    trial, so the cost is proportional to the expected ``trials * p``
-    successes.  This is the bitplane engine's fault stream.
+    Two regimes behind one contract (sorted, duplicate-free int64
+    positions in ``[0, trials)``):
+
+    * sparse (``p < DENSE_PROBABILITY``) — geometric gaps between
+      successes, so the cost is proportional to the expected
+      ``trials * p`` successes;
+    * dense — one vectorised uniform per trial thresholded against
+      ``p``; cheaper once successes are no longer rare.
+
+    ``dense`` forces a regime (used by the distribution-agreement
+    tests); ``None`` selects by ``probability``.  This is the bitplane
+    engine's fault stream, so the regime switch changes the RNG stream
+    at ``p >= DENSE_PROBABILITY`` — the frozen digests all sit in the
+    sparse regime.
     """
     if trials == 0 or probability <= 0.0:
         return np.empty(0, dtype=np.int64)
     if probability >= 1.0:
         return np.arange(trials, dtype=np.int64)
+    if dense is None:
+        dense = probability >= DENSE_PROBABILITY
+    if dense:
+        return np.flatnonzero(rng.random(trials) < probability).astype(
+            np.int64, copy=False
+        )
     expected = trials * probability
     batch = int(expected + 4.0 * expected**0.5 + 16.0)
     chunks = []
@@ -102,6 +144,59 @@ def _bernoulli_positions(
     return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
 
 
+def inject_slot_faults(
+    slot,
+    states: BitplaneState,
+    rng: np.random.Generator,
+    virtual: np.ndarray,
+    n_words: int,
+    trials: int,
+) -> None:
+    """Scatter one slot's slice of a batched fault draw into ``states``.
+
+    ``virtual`` holds the slot's sorted fault positions on its local
+    ``k * (n_words * 64)`` axis, so ``virtual >> 6`` is directly a flat
+    (op, word) index.  Equal words form contiguous segments; one
+    reduceat ORs each segment's trial bits into a packed select word,
+    padding bits beyond ``trials`` are masked off, and the replacement
+    bits for all faulted instances of a group come from a single
+    random-word block.
+
+    This is the single-point schedule's per-slot path.  The stacked
+    multi-point executor (:mod:`repro.runtime.executor`) performs the
+    same segmentation once per *error class* instead of per slot (see
+    ``_point_class_sites`` there); the two must stay in step on the
+    padding rule and the segment/select construction.
+    """
+    words = virtual >> 6
+    bits = np.uint64(1) << (virtual & 63).astype(np.uint64)
+    segment_starts = np.concatenate(
+        ([0], np.flatnonzero(words[1:] != words[:-1]) + 1)
+    )
+    select = np.bitwise_or.reduceat(bits, segment_starts)
+    affected = words[segment_starts]
+    op_of = affected // n_words
+    word_of = affected - op_of * n_words
+    if trials % 64:
+        # Faults on padding bits of each op's last word are no-ops.
+        select[word_of == n_words - 1] &= np.uint64((1 << (trials % 64)) - 1)
+    if len(slot.groups) == 1:
+        states.randomize_stacked(
+            slot.groups[0].wire_matrix, rng, op_of, word_of, select
+        )
+        return
+    for index, group in enumerate(slot.groups):
+        here = np.flatnonzero(slot.op_group[op_of] == index)
+        if here.size:
+            states.randomize_stacked(
+                group.wire_matrix,
+                rng,
+                slot.op_row[op_of[here]],
+                word_of[here],
+                select[here],
+            )
+
+
 @dataclass
 class NoisyResult:
     """Outcome of a noisy batched run."""
@@ -115,7 +210,14 @@ class NoisyResult:
         return self.states.trials
 
     def fraction_with_faults(self) -> float:
-        """Fraction of trials that experienced at least one fault."""
+        """Fraction of trials that experienced at least one fault.
+
+        A zero-trial batch has no faulted trials, so the fraction is
+        0.0 (a plain mean would be NumPy's NaN-with-warning
+        mean-of-empty).
+        """
+        if self.fault_counts.size == 0:
+            return 0.0
         return float((self.fault_counts > 0).mean())
 
 
@@ -134,11 +236,19 @@ class NoisyRunner:
         model: NoiseModel,
         seed: int | np.random.Generator | None = None,
         engine: str = "auto",
+        fuse: bool | None = None,
+        compile_cache: bool | None = None,
     ):
         _validate_engine(engine)
         self.model = model
         self.rng = _as_generator(seed)
         self.engine = engine
+        # None defers to the REPRO_FUSE / REPRO_COMPILE_CACHE knobs at
+        # compile time; an :class:`~repro.runtime.ExecutionPolicy`
+        # passes explicit values so no environment read happens
+        # mid-run.
+        self.fuse = fuse
+        self.compile_cache = compile_cache
 
     def run(
         self, circuit: Circuit, states: BatchedState | BitplaneState
@@ -184,7 +294,9 @@ class NoisyRunner:
         (``REPRO_FUSE=0``) this reduces exactly to the original per-op
         stream.
         """
-        compiled = compile_circuit(circuit)
+        compiled = compile_circuit(
+            circuit, fuse=self.fuse, cache=self.compile_cache
+        )
         if not compiled.fused:
             return self._run_bitplane_per_op(compiled, states)
         trials = states.trials
@@ -219,7 +331,9 @@ class NoisyRunner:
                     states.reset(wires, value)
             else:
                 for group in slot.groups:
-                    states.apply_program_stacked(group.program, group.wire_matrix)
+                    states.apply_program_stacked(
+                        group.program, group.wire_matrix, group.row_slices
+                    )
             virtual = class_draws.get(slot.is_reset)
             if virtual is None:
                 continue
@@ -228,7 +342,14 @@ class NoisyRunner:
                 virtual, (base, base + len(slot.ops) * padded)
             )
             if high > low:
-                self._inject_slot_faults(slot, states, virtual[low:high] - base)
+                inject_slot_faults(
+                    slot,
+                    states,
+                    self.rng,
+                    virtual[low:high] - base,
+                    n_words=states.n_words,
+                    trials=trials,
+                )
         return NoisyResult(states=states, fault_counts=fault_counts)
 
     def _run_bitplane_per_op(self, compiled, states: BitplaneState) -> NoisyResult:
@@ -257,49 +378,6 @@ class NoisyRunner:
                     fault_counts[positions] += 1
         return NoisyResult(states=states, fault_counts=fault_counts)
 
-    def _inject_slot_faults(
-        self, slot, states: BitplaneState, virtual: np.ndarray
-    ) -> None:
-        """Scatter one slot's slice of the batched fault draw.
-
-        ``virtual`` holds the slot's sorted fault positions on its local
-        ``k * padded`` axis, so ``virtual >> 6`` is directly a flat
-        (op, word) index.  Equal words form contiguous segments; one
-        reduceat ORs each segment's trial bits into a packed select
-        word, padding bits are masked off, and the replacement bits for
-        all faulted instances of a group come from a single random-word
-        block.
-        """
-        n_words = states.n_words
-        trials = states.trials
-        words = virtual >> 6
-        bits = np.uint64(1) << (virtual & 63).astype(np.uint64)
-        segment_starts = np.concatenate(
-            ([0], np.flatnonzero(words[1:] != words[:-1]) + 1)
-        )
-        select = np.bitwise_or.reduceat(bits, segment_starts)
-        affected = words[segment_starts]
-        op_of = affected // n_words
-        word_of = affected - op_of * n_words
-        if trials % 64:
-            # Faults on padding bits of each op's last word are no-ops.
-            select[word_of == n_words - 1] &= np.uint64((1 << (trials % 64)) - 1)
-        if len(slot.groups) == 1:
-            states.randomize_stacked(
-                slot.groups[0].wire_matrix, self.rng, op_of, word_of, select
-            )
-            return
-        for index, group in enumerate(slot.groups):
-            here = np.flatnonzero(slot.op_group[op_of] == index)
-            if here.size:
-                states.randomize_stacked(
-                    group.wire_matrix,
-                    self.rng,
-                    slot.op_row[op_of[here]],
-                    word_of[here],
-                    select[here],
-                )
-
     def run_from_input(
         self, circuit: Circuit, input_bits: Sequence[int], trials: int
     ) -> NoisyResult:
@@ -322,43 +400,81 @@ def estimate_failure_probability(
     seed: int | np.random.Generator | None = None,
     engine: str = "auto",
 ) -> tuple[float, int]:
-    """Monte-Carlo estimate of ``P[is_failure]`` after a noisy run.
+    """Deprecated shim: one :class:`~repro.runtime.RunSpec`, executed.
 
-    ``is_failure`` receives the final batch and returns a boolean array
-    of per-trial failures; it must stick to the engine-agnostic
-    observation API (``array``/``columns``/``majority_of``) since the
-    batch type follows ``engine``.  Returns ``(failure_fraction,
-    failures)``.
+    .. deprecated:: PR 3
+        Build a :class:`~repro.runtime.RunSpec` and run it through
+        :class:`~repro.runtime.Executor` — batches of specs sharing a
+        circuit then evaluate in one stacked plane array.  The shim
+        keeps the old signature and returns ``(failure_fraction,
+        failures)`` with numbers bit-identical to the PR 2
+        implementation (a single-point executor run consumes the RNG
+        exactly like the classic runner); ``engine`` wins over
+        ``REPRO_ENGINE``, the compiler knobs come from the environment
+        as before.
     """
-    runner = NoisyRunner(model, seed, engine=engine)
-    result = runner.run_from_input(circuit, input_bits, trials)
-    failures = np.asarray(is_failure(result.states), dtype=bool)
-    if failures.shape != (trials,):
-        raise SimulationError(
-            f"is_failure returned shape {failures.shape}, expected ({trials},)"
+    import warnings
+
+    warnings.warn(
+        "estimate_failure_probability is deprecated; build a "
+        "repro.runtime.RunSpec and run it through repro.runtime.Executor",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from dataclasses import replace
+
+    from repro.runtime import ExecutionPolicy, Executor, RunSpec
+
+    policy = replace(ExecutionPolicy.from_env(), engine=engine, parallel=None)
+    result = Executor(policy).run_one(
+        RunSpec(
+            circuit=circuit,
+            input_bits=tuple(input_bits),
+            observable=is_failure,
+            noise=model,
+            trials=trials,
+            seed=seed,
         )
-    count = int(failures.sum())
-    return count / trials, count
+    )
+    return result.failure_fraction, result.failures
+
+
+@dataclass(frozen=True)
+class RepetitionFailurePredicate:
+    """Failure predicate: majority over ``output_wires`` != ``expected``.
+
+    A frozen callable rather than a closure so specs carrying it can
+    cross a process-pool boundary.
+    """
+
+    output_wires: tuple[int, ...]
+    expected: int
+
+    def __call__(self, states: BatchedState | BitplaneState) -> np.ndarray:
+        return states.majority_of(self.output_wires) != self.expected
+
+
+@dataclass(frozen=True)
+class AnyWireDiffersPredicate:
+    """Failure predicate: any selected wire differs from expectation."""
+
+    output_wires: tuple[int, ...]
+    expected_bits: tuple[int, ...]
+
+    def __call__(self, states: BatchedState | BitplaneState) -> np.ndarray:
+        expected = np.asarray(self.expected_bits, dtype=np.uint8)
+        return (states.columns(self.output_wires) != expected).any(axis=1)
 
 
 def repetition_failure_predicate(
     output_wires: Sequence[int], expected: int
 ) -> Callable[[BatchedState | BitplaneState], np.ndarray]:
     """Failure predicate: majority over ``output_wires`` != ``expected``."""
-
-    def predicate(states: BatchedState | BitplaneState) -> np.ndarray:
-        return states.majority_of(output_wires) != expected
-
-    return predicate
+    return RepetitionFailurePredicate(tuple(output_wires), expected)
 
 
 def any_wire_differs_predicate(
     output_wires: Sequence[int], expected_bits: Sequence[int]
 ) -> Callable[[BatchedState | BitplaneState], np.ndarray]:
     """Failure predicate: any selected wire differs from expectation."""
-    expected = np.asarray(expected_bits, dtype=np.uint8)
-
-    def predicate(states: BatchedState | BitplaneState) -> np.ndarray:
-        return (states.columns(output_wires) != expected).any(axis=1)
-
-    return predicate
+    return AnyWireDiffersPredicate(tuple(output_wires), tuple(expected_bits))

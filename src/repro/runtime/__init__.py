@@ -1,0 +1,36 @@
+"""Unified declarative execution layer for Monte-Carlo experiments.
+
+The public surface is small: describe each point as a
+:class:`RunSpec`, describe *how* to run as an :class:`ExecutionPolicy`
+(hydrated from the ``REPRO_*`` environment knobs exactly once via
+:meth:`ExecutionPolicy.from_env`), and hand batches of specs to an
+:class:`Executor`.  Points that share a compiled program are evaluated
+together in one stacked bitplane array; independent groups can fan out
+to a process pool.  See :mod:`repro.runtime.executor` for the
+execution plan and its bit-identity guarantee.
+"""
+
+from repro.runtime.spec import (
+    DEFAULT_TRIALS,
+    DecodeObservable,
+    DecodedMismatchObservable,
+    ExecutionPolicy,
+    PointResult,
+    PredicateObservable,
+    RunSpec,
+    as_observable,
+)
+from repro.runtime.executor import Executor, run_specs
+
+__all__ = [
+    "DEFAULT_TRIALS",
+    "DecodeObservable",
+    "DecodedMismatchObservable",
+    "ExecutionPolicy",
+    "Executor",
+    "PointResult",
+    "PredicateObservable",
+    "RunSpec",
+    "as_observable",
+    "run_specs",
+]

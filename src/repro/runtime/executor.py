@@ -1,0 +1,490 @@
+"""The executor: grouped, stacked, optionally pooled spec evaluation.
+
+:meth:`Executor.run` takes a batch of :class:`~repro.runtime.spec.RunSpec`
+points and returns one :class:`~repro.runtime.spec.PointResult` per
+spec, in spec order.  The execution plan has three levels:
+
+1. **Grouping.**  Specs sharing a compiled program — same circuit
+   content, same input vector, same resolved engine — form one group.
+   A bisection or sweep evaluating one circuit at many noise levels is
+   a single group; a mixed workload (say fig3's level-1 and level-2
+   concatenation circuits) is several.
+
+2. **Stacked plane batching (within a group).**  A bitplane group's
+   points all ride in ONE plane array: each point owns a word-aligned
+   window of the trial axis (``points x trials`` on the word axis), so
+   every fused slot of the shared program executes once over all
+   points' words instead of once per point.  Fault handling is
+   amortised the same way: each point draws and segments its whole
+   per-error-class fault pass ONCE (slot membership, group, instance
+   row, and destination word of every fault site come from
+   precomputed per-class tables), the slot loop merely slices those
+   tables, and all points' sites scatter in one ``randomize_stacked``
+   call per slot group.  Fault *randomness* stays strictly per point —
+   every point's gap-jumping pass and replacement words come from its
+   own seeded generator in solo order — so, plane operations being
+   wordwise, every point's window is **bit-identical** to running that
+   spec alone through :class:`~repro.noise.monte_carlo.NoisyRunner`.
+   Batching is purely an execution detail, never a statistical one.
+
+3. **Process pool (across groups only).**  With
+   ``policy.parallel`` >= 2 workers and more than one group, whole
+   groups fan out to a :mod:`concurrent.futures` pool (specs must then
+   be picklable).  Points within a group never split across processes
+   — they are already batched into one array, which is the cheaper
+   kind of parallelism.
+
+Batched-engine groups and unfused execution (``policy.fuse=False``,
+which must preserve the pre-fusion per-op RNG stream) evaluate point
+by point through ``NoisyRunner`` — same results, no stacking.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+import numpy as np
+
+from repro.core.bitplane import BitplaneState, words_for
+from repro.core.compiled import compile_circuit
+from repro.errors import AnalysisError, SimulationError
+from repro.noise.monte_carlo import (
+    NoisyRunner,
+    _as_generator,
+    _bernoulli_positions,
+    resolve_engine,
+)
+from repro.runtime.spec import (
+    ExecutionPolicy,
+    PointResult,
+    RunSpec,
+    as_observable,
+)
+
+
+def resolve_workers(parallel: int | bool | None, points: int) -> int:
+    """Worker count for a pooled fan-out: 0 means run in-process.
+
+    ``None``/``False``/0/1 stay in-process, ``True`` means one worker
+    per CPU, an integer is an explicit width; the width never exceeds
+    the number of independent work items.  (Historically this lived in
+    :mod:`repro.harness.sweep`, which still re-exports it.)
+    """
+    if parallel is None or parallel is False:
+        return 0
+    if parallel is True:
+        workers = os.cpu_count() or 1
+    else:
+        workers = int(parallel)
+        if workers < 0:
+            raise AnalysisError(f"parallel must be >= 0, got {parallel}")
+    workers = min(workers, points)
+    return 0 if workers < 2 else workers
+
+
+def _group_key(spec: RunSpec, policy: ExecutionPolicy) -> tuple:
+    """Specs with equal keys share one compiled program and one batch.
+
+    Circuits are grouped by object identity, not content: hashing a
+    full op sequence per spec costs more than it saves, and specs built
+    for one sweep share the circuit object anyway.  Content-equal
+    circuits in distinct objects still share one *compiled* program
+    through the compile cache — they just run as separate batches.
+    """
+    return (
+        resolve_engine(policy.engine, spec.trials),
+        id(spec.circuit),
+        spec.input_bits,
+    )
+
+
+def _run_point_legacy(spec: RunSpec, engine: str, policy: ExecutionPolicy) -> PointResult:
+    """Evaluate one spec through the classic single-point runner."""
+    runner = NoisyRunner(
+        spec.noise,
+        spec.seed,
+        engine=engine,
+        fuse=policy.fuse,
+        compile_cache=policy.compile_cache,
+    )
+    result = runner.run_from_input(spec.circuit, spec.input_bits, spec.trials)
+    failures = as_observable(spec.observable).count_failures(result.states)
+    return PointResult(
+        failures=failures,
+        trials=spec.trials,
+        faulted_trials=int((result.fault_counts > 0).sum()),
+        engine=engine,
+    )
+
+
+class _StackPlan:
+    """Per-compiled-circuit injection plan for the stacked executor.
+
+    ``max_groups`` pads every slot to a uniform group axis so a flat
+    ``slot * max_groups + group`` *cell* index addresses any injection
+    target; ``arity_flat`` holds each cell's gate arity (0 where the
+    slot has fewer groups).  Per error class, ``tables`` maps a class-op
+    index to its class-slot, group, and wire-matrix row, and ``cells``
+    maps the class's own cell grid into the global one.  Built once per
+    group run from the fused schedule.
+    """
+
+    __slots__ = ("max_groups", "arity_flat", "tables", "cells")
+
+    def __init__(self, compiled):
+        slots = compiled.slots
+        self.max_groups = max((len(s.groups) for s in slots), default=1)
+        self.arity_flat = np.zeros(
+            len(slots) * self.max_groups, dtype=np.int64
+        )
+        for si, slot in enumerate(slots):
+            for gi, group in enumerate(slot.groups):
+                self.arity_flat[si * self.max_groups + gi] = (
+                    group.wire_matrix.shape[1]
+                )
+        self.tables: dict[bool, tuple] = {}
+        self.cells: dict[bool, np.ndarray] = {}
+        for is_reset in (False, True):
+            class_slots = [
+                (si, s) for si, s in enumerate(slots) if s.is_reset == is_reset
+            ]
+            if not class_slots:
+                continue
+            op_slot = np.repeat(
+                np.arange(len(class_slots), dtype=np.int64),
+                [len(s.ops) for _, s in class_slots],
+            )
+            op_group = np.concatenate(
+                [s.op_group for _, s in class_slots]
+            ).astype(np.int64)
+            op_row = np.concatenate([s.op_row for _, s in class_slots])
+            self.tables[is_reset] = (len(class_slots), op_slot, op_group, op_row)
+            self.cells[is_reset] = np.concatenate(
+                [
+                    si * self.max_groups + np.arange(self.max_groups)
+                    for si, _ in class_slots
+                ]
+            )
+
+
+class _PointSites:
+    """One point's fully resolved fault sites and replacement words.
+
+    ``classes[is_reset]`` is ``(rows, word_of, select, prefix)`` with
+    the sites sorted by (class-slot, group) and ``prefix`` (plain ints)
+    slicing each class cell's run; ``block``/``block_bounds`` hold the
+    point's ONE flat replacement-word draw, sliced per global cell in
+    slot order — NumPy integer draws are stream-consistent under
+    splitting, so this single draw consumes the generator exactly like
+    the solo engine's per-slot-per-group blocks.
+    """
+
+    __slots__ = ("classes", "block", "block_bounds")
+
+    def __init__(self):
+        self.classes: dict[bool, tuple] = {}
+        self.block: np.ndarray | None = None
+        self.block_bounds: list[int] = []
+
+
+def _point_class_sites(
+    rng: np.random.Generator,
+    error: float,
+    ops: int,
+    n_words: int,
+    trials: int,
+    word_offset: int,
+    tables: tuple,
+    max_groups: int,
+) -> tuple | None:
+    """Draw and fully resolve one error class's faults for one point.
+
+    One gap-jumping pass over the ``ops x (n_words * 64)`` virtual axis
+    (exactly the single-point engine's draw), then ONE segmentation of
+    the whole class: equal flat ``(op, word)`` indices collapse into a
+    packed select word via reduceat, padding bits beyond ``trials`` are
+    masked off, every site is annotated with its wire-matrix row and
+    destination word in the stacked array, and the sites are ordered by
+    (class-slot, group) cell — stably, so the within-group order the
+    solo engine would scatter in is preserved.  Returns ``(rows,
+    word_of, select, cell_counts, real_trials)`` or ``None`` when the
+    class draws nothing; the slot loop slices runs off the counts'
+    prefix sums instead of doing any per-slot work.
+    """
+    padded = n_words * 64
+    virtual = _bernoulli_positions(rng, error, ops * padded)
+    if not virtual.size:
+        return None
+    n_class_slots, op_slot, op_group, op_row = tables
+    flat_words = virtual >> 6
+    bits = np.uint64(1) << (virtual & 63).astype(np.uint64)
+    segment_starts = np.concatenate(
+        ([0], np.flatnonzero(flat_words[1:] != flat_words[:-1]) + 1)
+    )
+    select = np.bitwise_or.reduceat(bits, segment_starts)
+    affected = flat_words[segment_starts]
+    class_op = affected // n_words
+    word_of = affected - class_op * n_words
+    if trials % 64:
+        select[word_of == n_words - 1] &= np.uint64((1 << (trials % 64)) - 1)
+    if word_offset:
+        word_of = word_of + word_offset
+    rows = op_row[class_op]
+    cell = op_slot[class_op] * max_groups + op_group[class_op]
+    if (np.diff(cell) < 0).any():
+        # Multi-group slots interleave their groups' sites; a stable
+        # sort makes every cell's run contiguous without reordering
+        # sites within a group (the solo scatter order).
+        order = np.argsort(cell, kind="stable")
+        rows = rows[order]
+        word_of = word_of[order]
+        select = select[order]
+        cell = cell[order]
+    counts = np.bincount(cell, minlength=n_class_slots * max_groups)
+    trial_of = virtual % padded
+    return rows, word_of, select, counts, trial_of[trial_of < trials]
+
+
+def _run_group_stacked(
+    specs: Sequence[RunSpec], policy: ExecutionPolicy
+) -> list[PointResult]:
+    """Evaluate one bitplane group's points in a single stacked array.
+
+    Point ``p`` occupies the word window ``[offset_p, offset_p +
+    words_p)`` of every wire plane.  The shared program is applied once
+    per fused slot over the whole array; fault injection is per point
+    (each point's noise level and generator are its own) but batched
+    per slot: every point's replacement words are drawn from its own
+    generator in the solo order, then all points' fault sites scatter
+    in ONE ``randomize_stacked`` call per slot group.
+
+    The per-point generator consumption — class gap passes, then
+    per-slot per-group replacement-word blocks — matches a solo
+    ``NoisyRunner`` run draw for draw, and plane operations are
+    wordwise, so each point's window is **bit-identical** to running
+    the spec alone.
+    """
+    first = specs[0]
+    compiled = compile_circuit(
+        first.circuit, fuse=True, cache=policy.compile_cache
+    )
+    plan = _StackPlan(compiled)
+    max_groups = plan.max_groups
+    words = [words_for(spec.trials) for spec in specs]
+    offsets = [0]
+    for width in words[:-1]:
+        offsets.append(offsets[-1] + width)
+    total_words = sum(words)
+    states = BitplaneState.broadcast(first.input_bits, total_words * 64)
+    rngs = [_as_generator(spec.seed) for spec in specs]
+
+    # Phase 1 — per point: one draw + one segmentation per error class
+    # (solo order: gate class, then reset class), then ONE flat
+    # replacement-word draw covering every cell the point will inject.
+    points: list[_PointSites] = []
+    faulted: list[int] = []
+    n_cells = len(compiled.slots) * max_groups
+    for p, spec in enumerate(specs):
+        point = _PointSites()
+        hit = None
+        cell_sites = np.zeros(n_cells, dtype=np.int64)
+        for is_reset, count in (
+            (False, compiled.n_gate_ops),
+            (True, compiled.n_reset_ops),
+        ):
+            error = (
+                spec.noise.effective_reset_error
+                if is_reset
+                else spec.noise.gate_error
+            )
+            if error <= 0.0 or count == 0 or is_reset not in plan.tables:
+                continue
+            drawn = _point_class_sites(
+                rngs[p],
+                error,
+                count,
+                words[p],
+                spec.trials,
+                offsets[p],
+                plan.tables[is_reset],
+                max_groups,
+            )
+            if drawn is None:
+                continue
+            rows, word_of, select, counts, real = drawn
+            if hit is None:
+                hit = np.zeros(spec.trials, dtype=bool)
+            hit[real] = True
+            prefix = [0]
+            for value in counts.tolist():
+                prefix.append(prefix[-1] + value)
+            point.classes[is_reset] = (rows, word_of, select, prefix)
+            cell_sites[plan.cells[is_reset]] = counts
+        if point.classes:
+            bounds = [0]
+            for value in (cell_sites * plan.arity_flat).tolist():
+                bounds.append(bounds[-1] + value)
+            point.block_bounds = bounds
+            point.block = rngs[p].integers(
+                0, 2**64, size=bounds[-1], dtype=np.uint64
+            )
+        points.append(point)
+        faulted.append(0 if hit is None else int(hit.sum()))
+    points_with = {
+        is_reset: [
+            p for p in range(len(specs)) if is_reset in points[p].classes
+        ]
+        for is_reset in (False, True)
+    }
+
+    # Phase 2 — the slot loop: one stacked apply per program group,
+    # pure slicing of each point's precomputed sites and word block,
+    # and one scatter per group for all points together.
+    class_slot_index = {False: 0, True: 0}
+    for si, slot in enumerate(compiled.slots):
+        if slot.is_reset:
+            for value, wires in slot.resets:
+                states.reset(wires, value)
+        else:
+            for group in slot.groups:
+                states.apply_program_stacked(
+                    group.program, group.wire_matrix, group.row_slices
+                )
+        slot_c = class_slot_index[slot.is_reset]
+        class_slot_index[slot.is_reset] = slot_c + 1
+        class_base = slot_c * max_groups
+        global_base = si * max_groups
+        gathered: list[list[tuple[np.ndarray, ...]]] = [
+            [] for _ in slot.groups
+        ]
+        for p in points_with[slot.is_reset]:
+            point = points[p]
+            rows, word_of, select, prefix = point.classes[slot.is_reset]
+            bounds = point.block_bounds
+            block = point.block
+            for index in range(len(slot.groups)):
+                start = prefix[class_base + index]
+                stop = prefix[class_base + index + 1]
+                if stop <= start:
+                    continue
+                b0 = bounds[global_base + index]
+                b1 = bounds[global_base + index + 1]
+                gathered[index].append(
+                    (
+                        rows[start:stop],
+                        word_of[start:stop],
+                        select[start:stop],
+                        block[b0:b1].reshape(-1, stop - start),
+                    )
+                )
+        for index, group in enumerate(slot.groups):
+            parts = gathered[index]
+            if not parts:
+                continue
+            if len(parts) == 1:
+                rows, word_of, select, blocks = parts[0]
+            else:
+                rows = np.concatenate([part[0] for part in parts])
+                word_of = np.concatenate([part[1] for part in parts])
+                select = np.concatenate([part[2] for part in parts])
+                blocks = np.concatenate([part[3] for part in parts], axis=1)
+            states.randomize_stacked(
+                group.wire_matrix, None, rows, word_of, select, blocks
+            )
+
+    results = []
+    for p, spec in enumerate(specs):
+        window = BitplaneState(
+            states.planes[:, offsets[p]:offsets[p] + words[p]], spec.trials
+        )
+        failures = as_observable(spec.observable).count_failures(window)
+        results.append(
+            PointResult(
+                failures=failures,
+                trials=spec.trials,
+                faulted_trials=faulted[p],
+                engine="bitplane",
+            )
+        )
+    return results
+
+
+def _run_group(specs: Sequence[RunSpec], policy: ExecutionPolicy) -> list[PointResult]:
+    """Evaluate one group in-process (also the pool's task function)."""
+    engine = resolve_engine(policy.engine, specs[0].trials)
+    if engine == "bitplane" and policy.fuse and len(specs) > 1:
+        return _run_group_stacked(specs, policy)
+    # Lone points take the classic single-point runner directly (the
+    # stacked machinery would reproduce it bit for bit, with setup
+    # cost); the batched engine has no plane axis to stack on, and
+    # unfused execution must keep the pre-fusion per-op RNG stream —
+    # all three run point by point.
+    return [_run_point_legacy(spec, engine, policy) for spec in specs]
+
+
+class Executor:
+    """Runs batches of :class:`RunSpec` under an :class:`ExecutionPolicy`.
+
+    The default policy is hydrated from the environment once at
+    construction (:meth:`ExecutionPolicy.from_env`), so a long-lived
+    executor is immune to mid-run environment changes.
+    """
+
+    def __init__(self, policy: ExecutionPolicy | None = None):
+        self.policy = policy if policy is not None else ExecutionPolicy.from_env()
+
+    def run(self, specs: Sequence[RunSpec]) -> list[PointResult]:
+        """Evaluate every spec; results come back in spec order."""
+        specs = list(specs)
+        for spec in specs:
+            if not isinstance(spec, RunSpec):
+                raise SimulationError(
+                    f"Executor.run takes RunSpec instances, got "
+                    f"{type(spec).__name__}"
+                )
+        if not specs:
+            return []
+        groups: dict[tuple, list[int]] = {}
+        for index, spec in enumerate(specs):
+            groups.setdefault(_group_key(spec, self.policy), []).append(index)
+        plan = list(groups.values())
+        workers = resolve_workers(self.policy.parallel, len(plan))
+        results: list[PointResult | None] = [None] * len(specs)
+        if workers == 0:
+            for indices in plan:
+                for index, result in zip(
+                    indices, _run_group([specs[i] for i in indices], self.policy)
+                ):
+                    results[index] = result
+        else:
+            task = partial(_run_group, policy=self.policy)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(task, [specs[i] for i in indices])
+                    for indices in plan
+                ]
+                for indices, future in zip(plan, futures):
+                    try:
+                        group_results = future.result()
+                    except Exception as exc:
+                        raise SimulationError(
+                            f"executor group starting at {specs[indices[0]]!r} "
+                            f"failed: {exc}"
+                        ) from exc
+                    for index, result in zip(indices, group_results):
+                        results[index] = result
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec) -> PointResult:
+        """Evaluate a single spec (sugar over :meth:`run`)."""
+        return self.run([spec])[0]
+
+
+def run_specs(
+    specs: Sequence[RunSpec], policy: ExecutionPolicy | None = None
+) -> list[PointResult]:
+    """One-shot convenience: ``Executor(policy).run(specs)``."""
+    return Executor(policy).run(specs)

@@ -1,0 +1,279 @@
+"""Declarative run specifications for the unified execution layer.
+
+Every Monte-Carlo experiment in this repository has one shape —
+"evaluate this circuit under this noise at these points with this
+failure predicate".  This module gives that shape a value type:
+
+* :class:`RunSpec` — one frozen point: circuit, input, observable,
+  noise model, trial count, seed.  Specs are data; nothing runs until
+  an :class:`~repro.runtime.executor.Executor` is handed a batch of
+  them.
+* :class:`ExecutionPolicy` — *how* specs run (engine, worker pool,
+  fusion, compile cache, default trial budget), hydrated once from the
+  environment by :meth:`ExecutionPolicy.from_env`.  This is the single
+  home of every ``REPRO_*`` execution knob; nothing else in the
+  library reads them mid-run.
+* :class:`PointResult` — one point's outcome: failure count, trial
+  count, fault statistics, and the engine that produced them.
+* Observables — the failure predicate half of a spec.  Anything with a
+  ``count_failures(states) -> int`` method qualifies;
+  :func:`as_observable` wraps a plain ``states -> bool array``
+  predicate.  The provided frozen observables are picklable, so specs
+  can cross a process-pool boundary.
+
+Specs are deliberately engine-free: the same ``RunSpec`` runs on the
+batched or bitplane engine, serially or pooled, alone or stacked with
+other points into one plane array — and, by construction, produces the
+same failure counts in every mode.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.bitplane import BitplaneState
+from repro.core.circuit import Circuit
+from repro.core.simulator import BatchedState
+from repro.errors import SimulationError
+from repro.noise.model import NoiseModel
+from repro.noise.monte_carlo import ENGINES
+
+States = BatchedState | BitplaneState
+
+#: Default Monte-Carlo trial budget (the ``REPRO_TRIALS`` default).
+DEFAULT_TRIALS = 100_000
+
+
+# ----------------------------------------------------------------------
+# Observables
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredicateObservable:
+    """Counts failures through a ``states -> bool array`` predicate.
+
+    The predicate must stick to the engine-agnostic observation API
+    (``array``/``columns``/``majority_of``), since the state type
+    follows the executing engine.  For pooled execution the predicate
+    must be picklable (a module-level function or a
+    :func:`functools.partial` of one).
+    """
+
+    predicate: Callable[[States], np.ndarray]
+
+    def count_failures(self, states: States) -> int:
+        failures = np.asarray(self.predicate(states), dtype=bool)
+        if failures.shape != (states.trials,):
+            raise SimulationError(
+                f"is_failure returned shape {failures.shape}, expected "
+                f"({states.trials},)"
+            )
+        return int(failures.sum())
+
+
+@dataclass(frozen=True)
+class DecodeObservable:
+    """Counts trials whose decoded logical word differs from ``expected``.
+
+    ``decoder`` is any object with ``count_decode_failures(states,
+    expected)`` — e.g. :class:`~repro.coding.logical.LogicalProcessor`,
+    whose bit-plane path compares majority planes without unpacking a
+    single trial (the threshold pipeline's hot decode).
+    """
+
+    decoder: object
+    expected: tuple[int, ...]
+
+    def count_failures(self, states: States) -> int:
+        return int(self.decoder.count_decode_failures(states, self.expected))
+
+
+@dataclass(frozen=True)
+class DecodedMismatchObservable:
+    """Counts rows of ``decoder.decode_batch`` that mismatch ``expected``.
+
+    For decoders that expose only a batch decode (e.g.
+    :class:`~repro.coding.concatenation.ConcatenatedComputation`):
+    decodes the whole batch to a ``(trials, n_logical)`` array and
+    counts rows differing from ``expected`` anywhere.
+    """
+
+    decoder: object
+    expected: tuple[int, ...]
+
+    def count_failures(self, states: States) -> int:
+        decoded = self.decoder.decode_batch(states)
+        expected = np.asarray(self.expected, dtype=np.uint8)
+        return int((decoded != expected).any(axis=1).sum())
+
+
+def as_observable(observable):
+    """Normalise a spec's observable to the ``count_failures`` protocol.
+
+    Objects already exposing ``count_failures`` pass through; a plain
+    callable is wrapped as a :class:`PredicateObservable`.
+    """
+    if hasattr(observable, "count_failures"):
+        return observable
+    if callable(observable):
+        return PredicateObservable(observable)
+    raise SimulationError(
+        f"observable must expose count_failures(states) or be a "
+        f"states -> bool-array callable, got {type(observable).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# RunSpec
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative Monte-Carlo point.
+
+    Attributes:
+        circuit: the circuit to evolve noisily.
+        input_bits: the broadcast input vector (one value per wire).
+        observable: the failure predicate — anything accepted by
+            :func:`as_observable`.
+        noise: the :class:`~repro.noise.model.NoiseModel` applied at
+            this point.
+        trials: Monte-Carlo batch size (must be >= 1).
+        seed: per-point RNG seed.  An integer (or ``None``) spawns a
+            fresh ``numpy`` generator; an existing generator is used
+            as-is (and is then consumed by the run).
+    """
+
+    circuit: Circuit
+    input_bits: tuple[int, ...]
+    observable: object
+    noise: NoiseModel
+    trials: int
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "input_bits", tuple(self.input_bits))
+        if len(self.input_bits) != self.circuit.n_wires:
+            raise SimulationError(
+                f"input has {len(self.input_bits)} bits but circuit has "
+                f"{self.circuit.n_wires} wires"
+            )
+        if self.trials < 1:
+            raise SimulationError(f"trials must be >= 1, got {self.trials}")
+        as_observable(self.observable)  # validate the protocol up front
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.circuit.name or f"{self.circuit.n_wires}-wire circuit"
+        return (
+            f"RunSpec({label!r}, g={self.noise.gate_error:g}, "
+            f"trials={self.trials}, seed={self.seed!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# ExecutionPolicy
+# ----------------------------------------------------------------------
+
+
+def _parse_parallel(value: str) -> int | bool:
+    if value.strip().lower() == "max":
+        return True
+    return int(value)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How specs execute — the single home of the ``REPRO_*`` knobs.
+
+    Attributes:
+        engine: ``"auto" | "batched" | "bitplane"`` (``REPRO_ENGINE``).
+        parallel: process-pool width for independent work —
+            ``None``/0/1 in-process, ``N`` workers, ``True`` one per
+            CPU (``REPRO_PARALLEL``; ``max`` means ``True``).  The
+            executor pools only *across* compiled groups; points
+            sharing a program batch into one plane array instead.
+        fuse: whether the compiler fuses disjoint ops into slots
+            (``REPRO_FUSE``).  Unfused execution keeps the pre-fusion
+            RNG stream and is evaluated point by point.
+        compile_cache: whether compiled programs are reused
+            process-wide (``REPRO_COMPILE_CACHE``).
+        trials: default Monte-Carlo budget for callers that take their
+            trial count from the policy (``REPRO_TRIALS``).
+    """
+
+    engine: str = "auto"
+    parallel: int | bool | None = None
+    fuse: bool = True
+    compile_cache: bool = True
+    trials: int = DEFAULT_TRIALS
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {self.engine!r}; valid engines: {ENGINES}"
+            )
+        if self.trials < 1:
+            raise SimulationError(f"trials must be >= 1, got {self.trials}")
+
+    @classmethod
+    def from_env(cls, **defaults) -> "ExecutionPolicy":
+        """The policy described by the ``REPRO_*`` environment knobs.
+
+        ``defaults`` override the dataclass defaults for knobs the
+        environment leaves unset, so callers can say "100k trials
+        unless ``REPRO_TRIALS`` is exported".  This classmethod is the
+        only place the execution knobs are read; hydrate once and pass
+        the policy around.
+        """
+        policy = cls(**defaults)
+        env = os.environ
+        updates: dict = {}
+        if "REPRO_ENGINE" in env:
+            updates["engine"] = env["REPRO_ENGINE"]
+        if env.get("REPRO_PARALLEL") is not None:
+            updates["parallel"] = _parse_parallel(env["REPRO_PARALLEL"])
+        if "REPRO_FUSE" in env:
+            updates["fuse"] = env["REPRO_FUSE"] != "0"
+        if "REPRO_COMPILE_CACHE" in env:
+            updates["compile_cache"] = env["REPRO_COMPILE_CACHE"] != "0"
+        if "REPRO_TRIALS" in env:
+            updates["trials"] = int(env["REPRO_TRIALS"])
+        return replace(policy, **updates) if updates else policy
+
+
+# ----------------------------------------------------------------------
+# PointResult
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one :class:`RunSpec`.
+
+    ``failures`` counts trials the spec's observable flagged;
+    ``faulted_trials`` counts trials that experienced at least one
+    injected fault (the raw noise exposure, independent of the
+    observable); ``engine`` records the concrete engine that ran the
+    point.
+    """
+
+    failures: int
+    trials: int
+    faulted_trials: int
+    engine: str
+
+    @property
+    def failure_fraction(self) -> float:
+        """``failures / trials``."""
+        return self.failures / self.trials
+
+    @property
+    def fault_fraction(self) -> float:
+        """Fraction of trials with at least one injected fault."""
+        return self.faulted_trials / self.trials

@@ -65,6 +65,33 @@ class TestParallelSweep:
         assert result.ys == (42,)
 
 
+def explode_on_three(x):
+    if x == 3:
+        raise ValueError("point exploded")
+    return x * x
+
+
+class TestFailureAttribution:
+    def test_serial_failure_names_the_point(self):
+        with pytest.raises(AnalysisError, match=r"g=3 failed.*point exploded"):
+            sweep(explode_on_three, [1, 2, 3, 4], parameter="g")
+
+    def test_serial_failure_chains_original(self):
+        with pytest.raises(AnalysisError) as info:
+            sweep(explode_on_three, [3], parameter="g")
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_parallel_failure_names_the_point(self):
+        # The offending grid value must survive the process boundary.
+        with pytest.raises(AnalysisError, match=r"g=3 failed"):
+            sweep(explode_on_three, [1, 2, 3, 4], parameter="g", parallel=2)
+
+    def test_parallel_failure_chains_original(self):
+        with pytest.raises(AnalysisError) as info:
+            sweep(explode_on_three, [1, 3], parameter="g", parallel=2)
+        assert isinstance(info.value.__cause__, ValueError)
+
+
 class TestSpawnSeeds:
     def test_deterministic(self):
         assert spawn_seeds(7, 5) == spawn_seeds(7, 5)

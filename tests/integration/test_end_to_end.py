@@ -12,7 +12,7 @@ from repro.coding.logical import LogicalProcessor
 from repro.core import library
 from repro.core.simulator import run
 from repro.harness.stats import RateEstimate
-from repro.harness.threshold_finder import logical_error_per_cycle
+from repro.harness.threshold_finder import measure_cycle_errors
 from repro.local import circuit_is_local, one_d_lattice, one_d_recovery_circuit
 from repro.noise.model import NoiseModel
 from repro.noise.monte_carlo import NoisyRunner
@@ -23,7 +23,7 @@ class TestMeasuredErrorRespectsAnalyticBound:
         """Eq. 1 upper-bounds the measured per-cycle logical error."""
         g = 4e-3
         trials = 60000
-        rate, failures = logical_error_per_cycle(g, trials, seed=81)
+        rate, failures = measure_cycle_errors(((g, 81),), trials)[0]
         bound = logical_error_bound(g, 11)
         estimate = RateEstimate(failures=failures, trials=trials)
         # The Wilson interval's lower edge must not exceed the bound.
@@ -33,7 +33,7 @@ class TestMeasuredErrorRespectsAnalyticBound:
     def test_suppression_consistent_with_recursion(self):
         """Measured level-1 rate is within the Eq. 2 envelope."""
         g = 5e-3
-        rate, _ = logical_error_per_cycle(g, trials=60000, seed=82)
+        rate, _ = measure_cycle_errors(((g, 82),), trials=60000)[0]
         assert rate <= error_at_level(g, 11, 1)
         assert rate < g  # below threshold, one level helps
 

@@ -79,6 +79,18 @@ class TestNoisyRunner:
         runner = NoisyRunner(NoiseModel(gate_error=0.1), seed=rng)
         assert runner.rng is rng
 
+    def test_zero_trial_batch_has_zero_fault_fraction(self):
+        # Regression: an empty batch used to return NaN (NumPy's
+        # mean-of-empty, with a RuntimeWarning) instead of 0.0.
+        import warnings
+
+        circuit = Circuit(3).maj(0, 1, 2)
+        runner = NoisyRunner(NoiseModel(gate_error=0.5), seed=0)
+        result = runner.run(circuit, BatchedState.zeros(3, 0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.fraction_with_faults() == 0.0
+
 
 class TestEngineSelection:
     def test_resolve_auto_by_batch_size(self):

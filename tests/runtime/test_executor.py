@@ -1,0 +1,288 @@
+"""Executor equivalence properties.
+
+The load-bearing guarantees of the execution layer are proved here:
+
+1. a single-point ``Executor.run`` is bit-identical to the legacy
+   entry points on BOTH engines (the deprecation shims therefore
+   reproduce the PR 2 numbers);
+2. a multi-point stacked run is bit-identical, point by point, to
+   running each spec alone — batching is an execution detail, never a
+   statistical one (including points with non-word-aligned trial
+   counts, which exercise the padding masks);
+3. pooled execution across groups returns exactly the serial results,
+   in spec order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding import recovery_circuit
+from repro.coding.logical import LogicalProcessor
+from repro.core import library
+from repro.core.circuit import Circuit
+from repro.errors import SimulationError
+from repro.noise import (
+    NoiseModel,
+    NoisyRunner,
+    repetition_failure_predicate,
+)
+from repro.runtime import (
+    DecodeObservable,
+    ExecutionPolicy,
+    Executor,
+    PredicateObservable,
+    RunSpec,
+    run_specs,
+)
+
+REPETITION_PREDICATE = PredicateObservable(
+    repetition_failure_predicate((0, 1, 2), 1)
+)
+
+
+def recovery_spec(gate_error, seed, trials):
+    return RunSpec(
+        circuit=recovery_circuit(),
+        input_bits=(1, 1, 1) + (0,) * 6,
+        observable=REPETITION_PREDICATE,
+        noise=NoiseModel(gate_error=gate_error),
+        trials=trials,
+        seed=seed,
+    )
+
+
+def legacy_point(spec, engine):
+    """Ground truth: the classic single-point runner on one spec."""
+    runner = NoisyRunner(spec.noise, spec.seed, engine=engine)
+    result = runner.run_from_input(spec.circuit, spec.input_bits, spec.trials)
+    failures = REPETITION_PREDICATE.count_failures(result.states)
+    return failures, int((result.fault_counts > 0).sum())
+
+
+class TestSinglePointBitIdentity:
+    @pytest.mark.parametrize("engine", ["batched", "bitplane"])
+    def test_matches_legacy_runner(self, engine):
+        spec = recovery_spec(0.01, seed=11, trials=1000)
+        expected = legacy_point(spec, engine)
+        result = Executor(ExecutionPolicy(engine=engine)).run_one(spec)
+        assert (result.failures, result.faulted_trials) == expected
+        assert result.engine == engine
+
+    @pytest.mark.parametrize("engine", ["batched", "bitplane"])
+    def test_shim_reproduces_legacy_estimate(self, engine):
+        # The deprecated estimate_failure_probability shim must return
+        # the classic implementation's numbers bit for bit.
+        from repro.noise import estimate_failure_probability
+
+        spec = recovery_spec(0.02, seed=5, trials=640)
+        with pytest.warns(DeprecationWarning):
+            rate, count = estimate_failure_probability(
+                spec.circuit,
+                spec.input_bits,
+                repetition_failure_predicate((0, 1, 2), 1),
+                spec.noise,
+                trials=spec.trials,
+                seed=5,
+                engine=engine,
+            )
+        failures, _ = legacy_point(spec, engine)
+        assert count == failures
+        assert rate == failures / spec.trials
+
+    def test_shim_reproduces_legacy_cycle_error(self):
+        # Same guarantee for the logical_error_per_cycle shim: its
+        # numbers equal the classic NoisyRunner pipeline exactly.
+        from repro.harness.threshold_finder import (
+            _CYCLE_INPUT,
+            _cycle_processor,
+            logical_error_per_cycle,
+        )
+
+        trials, seed, g = 20_000, 7, 4e-3
+        processor = _cycle_processor(1)
+        runner = NoisyRunner(NoiseModel(gate_error=g), seed, engine="bitplane")
+        result = runner.run_from_input(
+            processor.circuit, processor.physical_input(_CYCLE_INPUT), trials
+        )
+        failures = processor.count_decode_failures(result.states, _CYCLE_INPUT)
+        expected_rate = 1.0 - (1.0 - failures / trials) ** 0.5
+        with pytest.warns(DeprecationWarning):
+            rate, count = logical_error_per_cycle(g, trials, seed=seed)
+        assert count == failures
+        assert rate == expected_rate
+
+
+class TestStackedBatchingBitIdentity:
+    def test_stacked_points_equal_solo_runs(self):
+        # Five noise levels, one shared circuit: ONE stacked plane
+        # array must reproduce five solo runs bit for bit.
+        specs = [
+            recovery_spec(g, seed, 2000)
+            for seed, g in enumerate((0.002, 0.005, 0.01, 0.03, 0.08))
+        ]
+        results = Executor(ExecutionPolicy(engine="bitplane")).run(specs)
+        for spec, result in zip(specs, results):
+            assert (result.failures, result.faulted_trials) == legacy_point(
+                spec, "bitplane"
+            )
+
+    def test_unaligned_trial_counts_are_window_exact(self):
+        # Trials that are not multiples of 64 give each point a padded
+        # window; the padding masks must keep every point solo-exact.
+        specs = [
+            recovery_spec(0.02, seed=31, trials=777),
+            recovery_spec(0.04, seed=32, trials=1000),
+            recovery_spec(0.01, seed=33, trials=65),
+        ]
+        results = Executor(ExecutionPolicy(engine="bitplane")).run(specs)
+        for spec, result in zip(specs, results):
+            assert (result.failures, result.faulted_trials) == legacy_point(
+                spec, "bitplane"
+            )
+            assert result.trials == spec.trials
+
+    def test_results_come_back_in_spec_order_across_groups(self):
+        maj_circuit = Circuit(3, name="maj").maj(0, 1, 2)
+        maj_spec = RunSpec(
+            circuit=maj_circuit,
+            input_bits=(1, 0, 1),
+            observable=PredicateObservable(
+                repetition_failure_predicate((0, 1, 2), 1)
+            ),
+            noise=NoiseModel(gate_error=0.05),
+            trials=1500,
+            seed=41,
+        )
+        interleaved = [
+            recovery_spec(0.01, 42, 1500),
+            maj_spec,
+            recovery_spec(0.03, 43, 1500),
+        ]
+        results = Executor(ExecutionPolicy(engine="bitplane")).run(interleaved)
+        for spec, result in zip(interleaved, results):
+            runner = NoisyRunner(spec.noise, spec.seed, engine="bitplane")
+            run = runner.run_from_input(spec.circuit, spec.input_bits, spec.trials)
+            assert result.failures == REPETITION_PREDICATE.count_failures(
+                run.states
+            )
+
+    def test_unfused_policy_keeps_prefusion_stream(self):
+        # fuse=False must fall back to the per-op schedule and its
+        # exact pre-fusion RNG stream (no stacking).
+        spec = recovery_spec(0.01, seed=51, trials=1000)
+        runner = NoisyRunner(
+            spec.noise, spec.seed, engine="bitplane", fuse=False
+        )
+        run = runner.run_from_input(spec.circuit, spec.input_bits, spec.trials)
+        expected = REPETITION_PREDICATE.count_failures(run.states)
+        result = Executor(
+            ExecutionPolicy(engine="bitplane", fuse=False)
+        ).run_one(spec)
+        assert result.failures == expected
+
+    def test_decode_observable_on_stacked_windows(self):
+        # The packed decode path must read each point's plane window
+        # correctly (views are non-contiguous slices of the big array).
+        processor = LogicalProcessor(3, include_resets=True)
+        processor.apply(library.MAJ, 0, 1, 2)
+        processor.apply(library.MAJ_INV, 0, 1, 2)
+        physical = processor.physical_input((1, 0, 1))
+        observable = DecodeObservable(processor, (1, 0, 1))
+        specs = [
+            RunSpec(
+                circuit=processor.circuit,
+                input_bits=physical,
+                observable=observable,
+                noise=NoiseModel(gate_error=g),
+                trials=3000,
+                seed=seed,
+            )
+            for seed, g in enumerate((0.005, 0.02), start=61)
+        ]
+        results = Executor(ExecutionPolicy(engine="bitplane")).run(specs)
+        for spec, result in zip(specs, results):
+            runner = NoisyRunner(spec.noise, spec.seed, engine="bitplane")
+            run = runner.run_from_input(spec.circuit, spec.input_bits, spec.trials)
+            assert result.failures == processor.count_decode_failures(
+                run.states, (1, 0, 1)
+            )
+
+
+class TestPoolAcrossGroups:
+    def test_parallel_groups_equal_serial(self):
+        specs = [
+            recovery_spec(0.01, 71, 1024),
+            RunSpec(
+                circuit=Circuit(3, name="maj").maj(0, 1, 2),
+                input_bits=(1, 0, 1),
+                observable=REPETITION_PREDICATE,
+                noise=NoiseModel(gate_error=0.05),
+                trials=1024,
+                seed=72,
+            ),
+        ]
+        serial = Executor(ExecutionPolicy(engine="bitplane")).run(specs)
+        pooled = Executor(
+            ExecutionPolicy(engine="bitplane", parallel=2)
+        ).run(specs)
+        assert serial == pooled
+
+    def test_worker_failure_names_the_group(self):
+        class Boom:
+            def count_failures(self, states):
+                raise ValueError("observable exploded")
+
+        specs = [
+            RunSpec(
+                circuit=Circuit(2, name="left").cnot(0, 1),
+                input_bits=(1, 0),
+                observable=Boom(),
+                noise=NoiseModel(gate_error=0.0),
+                trials=300,
+                seed=1,
+            ),
+            RunSpec(
+                circuit=Circuit(2, name="right").cnot(1, 0),
+                input_bits=(1, 0),
+                observable=Boom(),
+                noise=NoiseModel(gate_error=0.0),
+                trials=300,
+                seed=2,
+            ),
+        ]
+        with pytest.raises(SimulationError, match="left|right"):
+            Executor(ExecutionPolicy(parallel=2)).run(specs)
+
+
+class TestExecutorSurface:
+    def test_empty_run(self):
+        assert Executor().run([]) == []
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(SimulationError):
+            Executor().run(["not a spec"])
+
+    def test_run_specs_convenience(self):
+        spec = recovery_spec(0.01, 81, 640)
+        (result,) = run_specs([spec], ExecutionPolicy(engine="bitplane"))
+        assert result == Executor(ExecutionPolicy(engine="bitplane")).run_one(
+            spec
+        )
+
+    def test_auto_engine_resolution_recorded(self):
+        small = recovery_spec(0.01, 91, 100)
+        large = recovery_spec(0.01, 92, 1000)
+        results = Executor(ExecutionPolicy(engine="auto")).run([small, large])
+        assert [r.engine for r in results] == ["batched", "bitplane"]
+
+    def test_measure_cycle_errors_batches_points(self):
+        # The harness-level sweep API: many points, one stacked run,
+        # each point equal to its deprecated single-point shim.
+        from repro.harness.threshold_finder import measure_cycle_errors
+
+        points = tuple((g, seed) for seed, g in enumerate((2e-3, 8e-3, 0.03)))
+        batched = measure_cycle_errors(points, trials=4000)
+        for (g, seed), (rate, failures) in zip(points, batched):
+            solo = measure_cycle_errors(((g, seed),), trials=4000)[0]
+            assert solo == (rate, failures)

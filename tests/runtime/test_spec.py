@@ -1,0 +1,140 @@
+"""Tests for RunSpec / ExecutionPolicy / PointResult / observables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.simulator import BatchedState
+from repro.errors import SimulationError
+from repro.noise.model import NoiseModel
+from repro.runtime import (
+    DecodeObservable,
+    ExecutionPolicy,
+    PointResult,
+    PredicateObservable,
+    RunSpec,
+    as_observable,
+)
+
+
+def all_ones_predicate(states):
+    return states.columns(range(states.n_wires)).all(axis=1)
+
+
+def make_spec(**overrides):
+    values = dict(
+        circuit=Circuit(3).maj(0, 1, 2),
+        input_bits=(1, 0, 1),
+        observable=all_ones_predicate,
+        noise=NoiseModel(gate_error=0.01),
+        trials=100,
+        seed=0,
+    )
+    values.update(overrides)
+    return RunSpec(**values)
+
+
+class TestRunSpec:
+    def test_input_bits_coerced_to_tuple(self):
+        spec = make_spec(input_bits=[1, 0, 1])
+        assert spec.input_bits == (1, 0, 1)
+
+    def test_wire_count_validated(self):
+        with pytest.raises(SimulationError):
+            make_spec(input_bits=(1, 0))
+
+    def test_trials_validated(self):
+        with pytest.raises(SimulationError):
+            make_spec(trials=0)
+
+    def test_observable_protocol_validated(self):
+        with pytest.raises(SimulationError):
+            make_spec(observable=42)
+
+    def test_specs_are_hashable_values(self):
+        # Frozen specs with equal content must compare equal.
+        assert make_spec() == make_spec()
+
+
+class TestObservables:
+    def test_callable_is_wrapped(self):
+        wrapped = as_observable(all_ones_predicate)
+        assert isinstance(wrapped, PredicateObservable)
+        states = BatchedState.from_rows([(1, 1, 1), (0, 1, 1)])
+        assert wrapped.count_failures(states) == 1
+
+    def test_count_failures_objects_pass_through(self):
+        observable = PredicateObservable(all_ones_predicate)
+        assert as_observable(observable) is observable
+
+    def test_predicate_shape_validated(self):
+        wrapped = as_observable(lambda states: np.zeros((2, 2), dtype=bool))
+        with pytest.raises(SimulationError):
+            wrapped.count_failures(BatchedState.from_rows([(1, 0)]))
+
+    def test_decode_observable_delegates(self):
+        class Decoder:
+            def count_decode_failures(self, states, expected):
+                return 7 if expected == (1,) else 0
+
+        assert DecodeObservable(Decoder(), (1,)).count_failures(None) == 7
+
+
+class TestExecutionPolicy:
+    def test_defaults(self):
+        policy = ExecutionPolicy()
+        assert policy.engine == "auto"
+        assert policy.parallel is None
+        assert policy.fuse and policy.compile_cache
+        assert policy.trials == 100_000
+
+    def test_engine_validated(self):
+        with pytest.raises(SimulationError):
+            ExecutionPolicy(engine="quantum")
+
+    def test_from_env_reads_every_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        monkeypatch.setenv("REPRO_FUSE", "0")
+        monkeypatch.setenv("REPRO_COMPILE_CACHE", "0")
+        monkeypatch.setenv("REPRO_TRIALS", "1234")
+        policy = ExecutionPolicy.from_env()
+        assert policy == ExecutionPolicy(
+            engine="batched",
+            parallel=3,
+            fuse=False,
+            compile_cache=False,
+            trials=1234,
+        )
+
+    def test_from_env_parallel_max(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "max")
+        assert ExecutionPolicy.from_env().parallel is True
+
+    def test_from_env_defaults_yield_to_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        assert ExecutionPolicy.from_env(trials=555).trials == 555
+        monkeypatch.setenv("REPRO_TRIALS", "777")
+        assert ExecutionPolicy.from_env(trials=555).trials == 777
+
+    def test_from_env_unset_environment_keeps_defaults(self, monkeypatch):
+        for knob in (
+            "REPRO_ENGINE",
+            "REPRO_PARALLEL",
+            "REPRO_FUSE",
+            "REPRO_COMPILE_CACHE",
+            "REPRO_TRIALS",
+        ):
+            monkeypatch.delenv(knob, raising=False)
+        assert ExecutionPolicy.from_env() == ExecutionPolicy()
+
+
+class TestPointResult:
+    def test_fractions(self):
+        result = PointResult(
+            failures=25, trials=100, faulted_trials=40, engine="bitplane"
+        )
+        assert result.failure_fraction == 0.25
+        assert result.fault_fraction == 0.40

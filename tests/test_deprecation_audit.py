@@ -1,0 +1,33 @@
+"""The CI deprecation audit must pass on the tree as committed."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_audit_is_clean():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "deprecation_audit.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_audit_flags_new_callers(tmp_path, monkeypatch):
+    # The audit must actually detect a stray caller, or it guards
+    # nothing.  Point it at a fake repo with one offender.
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import deprecation_audit
+    finally:
+        sys.path.pop(0)
+    offender = tmp_path / "src" / "thing.py"
+    offender.parent.mkdir(parents=True)
+    offender.write_text("rate, _ = logical_error_per_cycle(0.01, 100)\n")
+    offenses = deprecation_audit.audit(tmp_path)
+    assert offenses == ["src/thing.py:1: logical_error_per_cycle"]

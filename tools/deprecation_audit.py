@@ -1,0 +1,86 @@
+"""Fail when repo-internal code calls a deprecated entry point.
+
+The PR 3 API redesign left ``estimate_failure_probability`` and
+``logical_error_per_cycle`` behind as deprecation shims over
+:mod:`repro.runtime`.  New internal code must use the runtime API;
+only the shims' own modules, their re-exporting ``__init__`` files,
+and the tests that pin the shims' behaviour may keep referring to the
+old names.  CI runs this script; it exits 1 listing every offending
+``file:line``.
+
+Usage::
+
+    python tools/deprecation_audit.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Deprecated entry points whose spread this audit freezes.
+DEPRECATED = ("estimate_failure_probability", "logical_error_per_cycle")
+
+#: Directories scanned for Python sources.
+SCANNED = ("src", "examples", "benchmarks", "tests", "tools")
+
+#: Files allowed to reference the deprecated names: the shim
+#: definitions, the package __init__ re-exports kept for backwards
+#: compatibility, the tests pinning shim behaviour, and this audit.
+ALLOWED = {
+    "src/repro/noise/monte_carlo.py",
+    "src/repro/noise/__init__.py",
+    "src/repro/harness/threshold_finder.py",
+    "src/repro/harness/__init__.py",
+    "tests/noise/test_monte_carlo.py",
+    "tests/harness/test_threshold_finder.py",
+    "tests/runtime/test_executor.py",
+    "tests/test_deprecation_audit.py",
+    "tools/deprecation_audit.py",
+}
+
+_PATTERN = re.compile("|".join(re.escape(name) for name in DEPRECATED))
+
+
+def audit(root: Path = REPO_ROOT) -> list[str]:
+    """Every disallowed ``file:line: match`` reference, sorted."""
+    offenses: list[str] = []
+    for directory in SCANNED:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            relative = path.relative_to(root).as_posix()
+            if relative in ALLOWED:
+                continue
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                match = _PATTERN.search(line)
+                if match:
+                    offenses.append(f"{relative}:{number}: {match.group(0)}")
+    return offenses
+
+
+def main() -> int:
+    offenses = audit()
+    if offenses:
+        print(
+            "deprecated entry points referenced outside the shims and "
+            "their tests (use repro.runtime / measure_cycle_errors):"
+        )
+        for offense in offenses:
+            print(f"  {offense}")
+        return 1
+    print(
+        f"deprecation audit clean: no internal callers of {DEPRECATED} "
+        f"outside {len(ALLOWED)} allowed files"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
