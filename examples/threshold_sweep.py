@@ -2,7 +2,7 @@
 
 Run with::
 
-    python examples/threshold_sweep.py [trials] [workers]
+    python examples/threshold_sweep.py [trials]
 
 Measures the logical error per gate-plus-recovery cycle of the level-1
 scheme across a geometric grid of gate error rates, compares it with
@@ -13,10 +13,10 @@ The grid goes through the declarative runtime layer: all points share
 the compiled cycle circuit, so ``measure_cycle_errors`` batches them
 into ONE stacked bitplane run (each point still owns its spawned child
 seed, and its numbers are bit-identical to measuring it alone —
-batching is an execution detail, not a statistical one).  ``workers``
-only matters for workloads spanning *distinct* circuits; it is
-forwarded to the bisection's bracket validation here.  The analytic
-threshold 1/165 is a lower bound; the measured crossing lands above it.
+batching is an execution detail, not a statistical one), and the
+bisection itself runs as stacked rounds through its ``spec_builder``
+form — no process pool needed.  The analytic threshold 1/165 is a
+lower bound; the measured crossing lands above it.
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ import sys
 
 from repro.analysis import logical_error_bound, threshold
 from repro.harness import (
+    cycle_stage_spec,
     find_pseudo_threshold_adaptive,
     format_table,
     geometric_grid,
@@ -33,18 +34,12 @@ from repro.harness import (
 )
 
 
-def bisection_point(gate_error: float, n_trials: int, seed: int):
-    """Adaptive-bisection evaluator (picklable for parallel brackets)."""
-    return measure_cycle_errors(((gate_error, seed),), n_trials)[0]
-
-
-def main(trials: int = 40000, workers: int = 0) -> None:
+def main(trials: int = 40000) -> None:
     print(f"analytic threshold (G=11): rho = 1/165 = {threshold(11):.5f}")
     print()
 
     # One executor group (all points share the cycle circuit), so the
-    # whole grid is one stacked run; ``workers`` only matters for the
-    # bisection's bracket validation below.
+    # whole grid is one stacked run.
     grid = geometric_grid(1e-3, 6e-2, 7)
     points = list(zip(grid, spawn_seeds(13, len(grid))))
     measured = measure_cycle_errors(points, trials)
@@ -71,14 +66,19 @@ def main(trials: int = 40000, workers: int = 0) -> None:
     )
     print()
 
+    # The spec-builder form runs the bisection as STACKED rounds on the
+    # runtime layer: bracket endpoints plus the speculative first
+    # midpoint share one plane array, and each round batches its
+    # pending escalation stage with the two next possible midpoints —
+    # a handful of stacked executions, bit-identical to evaluating the
+    # stages one solo run at a time.
     result = find_pseudo_threshold_adaptive(
-        bisection_point,
         lower=2e-3,
         upper=8e-2,
         trials=trials,
         iterations=10,
         seed=13,
-        parallel=workers,
+        spec_builder=cycle_stage_spec,
     )
     print(f"measured pseudo-threshold: {result.estimate:.4f}")
     print(f"analytic lower bound     : {threshold(11):.4f}")
@@ -97,7 +97,4 @@ def main(trials: int = 40000, workers: int = 0) -> None:
 
 
 if __name__ == "__main__":
-    main(
-        int(sys.argv[1]) if len(sys.argv) > 1 else 40000,
-        int(sys.argv[2]) if len(sys.argv) > 2 else 0,
-    )
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40000)

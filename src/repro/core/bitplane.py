@@ -72,6 +72,30 @@ def unpack_words(words: np.ndarray, trials: int) -> np.ndarray:
     )
 
 
+def popcount_words(words: np.ndarray) -> int:
+    """Total number of set bits across packed uint64 words."""
+    if hasattr(np, "bitwise_count"):
+        return int(np.bitwise_count(words).sum(dtype=np.int64))
+    # NumPy < 2.0 has no popcount ufunc; unpack instead.
+    return int(
+        np.unpackbits(np.ascontiguousarray(words).view(np.uint8))
+        .sum(dtype=np.int64)
+    )
+
+
+def count_trial_ones(words: np.ndarray, trials: int) -> int:
+    """Set bits among the first ``trials`` of a packed plane.
+
+    Masks the padding bits of the final word before counting — the one
+    place the padding invariant lives, shared by the per-state
+    :meth:`BitplaneState.count_ones` and the stacked per-window decode.
+    """
+    if trials % WORD_BITS and words.size:
+        words = words.copy()
+        words[-1] &= np.uint64((1 << (trials % WORD_BITS)) - 1)
+    return popcount_words(words)
+
+
 def mask_from_positions(positions: np.ndarray, n_words: int) -> np.ndarray:
     """A packed mask with exactly the given trial indices set."""
     mask = np.zeros(n_words, dtype=np.uint64)
@@ -436,16 +460,7 @@ class BitplaneState:
 
     def count_ones(self, plane: np.ndarray) -> int:
         """Number of set *trial* bits in a packed plane (padding ignored)."""
-        if self._trials % WORD_BITS and plane.size:
-            plane = plane.copy()
-            plane[-1] &= np.uint64((1 << (self._trials % WORD_BITS)) - 1)
-        if hasattr(np, "bitwise_count"):
-            return int(np.bitwise_count(plane).sum(dtype=np.int64))
-        # NumPy < 2.0 has no popcount ufunc; unpack instead.
-        return int(
-            np.unpackbits(np.ascontiguousarray(plane).view(np.uint8))
-            .sum(dtype=np.int64)
-        )
+        return count_trial_ones(plane, self._trials)
 
 
 def run_bitplane(circuit: Circuit, states: BitplaneState) -> BitplaneState:

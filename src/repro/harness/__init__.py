@@ -5,7 +5,6 @@ from repro.harness.experiments import (
     Experiment,
     ExperimentResult,
     execution_policy,
-    parallel_workers,
     run_experiment,
     trial_budget,
 )
@@ -21,6 +20,7 @@ from repro.harness.tables import format_table, paper_vs_measured
 from repro.harness.threshold_finder import (
     PseudoThreshold,
     cycle_error_specs,
+    cycle_stage_spec,
     find_pseudo_threshold,
     find_pseudo_threshold_adaptive,
     logical_error_per_cycle,
@@ -33,7 +33,6 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "execution_policy",
-    "parallel_workers",
     "run_experiment",
     "trial_budget",
     "RateEstimate",
@@ -48,6 +47,7 @@ __all__ = [
     "paper_vs_measured",
     "PseudoThreshold",
     "cycle_error_specs",
+    "cycle_stage_spec",
     "find_pseudo_threshold",
     "find_pseudo_threshold_adaptive",
     "logical_error_per_cycle",

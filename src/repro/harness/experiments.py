@@ -31,7 +31,6 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
-from functools import partial
 from math import isclose, log2
 
 import numpy as np
@@ -98,6 +97,7 @@ from repro.noise import (
     run_with_faults,
 )
 from repro.harness.threshold_finder import (
+    cycle_stage_spec,
     find_pseudo_threshold_adaptive,
     measure_cycle_errors,
 )
@@ -132,15 +132,6 @@ def _concatenation_spec(level: int, trials: int, gate_error: float) -> RunSpec:
     )
 
 
-def _staged_error_point(
-    gate_error: float, n_trials: int, seed: int, policy: ExecutionPolicy
-) -> tuple[float, int]:
-    """Adaptive-bisection evaluator: one budget stage at one error rate."""
-    return measure_cycle_errors(
-        ((gate_error, seed),), n_trials, include_resets=True, policy=policy
-    )[0]
-
-
 def execution_policy() -> ExecutionPolicy:
     """The experiments' execution policy, hydrated from ``REPRO_*``."""
     return ExecutionPolicy.from_env()
@@ -154,17 +145,6 @@ def trial_budget(default: int = 100000) -> int:
 def engine_choice(default: str = "auto") -> str:
     """Monte-Carlo engine, overridable via ``REPRO_ENGINE``."""
     return ExecutionPolicy.from_env(engine=default).engine
-
-
-def parallel_workers(default: int = 0) -> int | bool:
-    """Pool worker count from ``REPRO_PARALLEL`` (0 = in-process).
-
-    ``REPRO_PARALLEL=max`` uses one worker per CPU.  The default stays
-    serial: the registered experiments are single-digit-second affairs
-    where pool startup would dominate, but large custom sweeps benefit.
-    """
-    value = ExecutionPolicy.from_env().parallel
-    return default if value is None else value
 
 
 @dataclass
@@ -773,14 +753,21 @@ def experiment_baseline() -> ExperimentResult:
 )
 def experiment_mc_threshold() -> ExperimentResult:
     trials = min(trial_budget(), 100000)
+    # The search runs as stacked rounds on the runtime layer: bracket
+    # endpoints plus the speculative first midpoint in one plane array,
+    # then each bisection round's pending stage batched with the two
+    # next possible midpoints.  Identical numbers to the sequential
+    # per-stage evaluation (each candidate keeps its pre-spawned stage
+    # seeds), in a handful of stacked executions instead of dozens of
+    # solo runs.
     result = find_pseudo_threshold_adaptive(
-        partial(_staged_error_point, policy=execution_policy()),
         lower=2e-3,
         upper=8e-2,
         trials=trials,
         iterations=8,
         seed=51,
-        parallel=parallel_workers(),
+        spec_builder=cycle_stage_spec,
+        policy=execution_policy(),
     )
     analytic = threshold(11)
     above = result.estimate >= analytic

@@ -40,11 +40,26 @@ def wilson_interval(
 
 @dataclass(frozen=True)
 class RateEstimate:
-    """A failure-rate estimate with its Wilson interval."""
+    """A failure-rate estimate with its Wilson interval.
+
+    Construction validates the counts (consistent with
+    :func:`wilson_interval`), so a zero-trial or out-of-range estimate
+    fails loudly as an :class:`~repro.errors.AnalysisError` instead of
+    surfacing later as a bare ``ZeroDivisionError`` from :attr:`rate`.
+    """
 
     failures: int
     trials: int
     z: float = 1.96
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise AnalysisError(f"trials must be positive, got {self.trials}")
+        if not 0 <= self.failures <= self.trials:
+            raise AnalysisError(
+                f"failures ({self.failures}) must be within "
+                f"[0, trials={self.trials}]"
+            )
 
     @property
     def rate(self) -> float:

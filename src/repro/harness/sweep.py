@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from math import isfinite
 
 import numpy as np
 
@@ -86,7 +87,9 @@ def sweep(
 
     A point that raises is re-raised as an :class:`AnalysisError`
     carrying the offending parameter value (original exception
-    chained), in both serial and pooled modes.
+    chained), in both serial and pooled modes; a pooled failure
+    cancels every not-yet-started point so the error surfaces promptly
+    instead of paying for the rest of the grid.
     """
     xs = tuple(values)
     workers = resolve_workers(parallel, len(xs))
@@ -106,6 +109,14 @@ def sweep(
                 try:
                     ys.append(future.result())
                 except Exception as exc:
+                    # Without cancellation the ``with`` block's exit
+                    # would still WAIT for every queued point — one
+                    # failure among dozens of expensive points would
+                    # pay for the whole grid.  Cancel everything not
+                    # yet running so the error surfaces promptly (the
+                    # points already in flight still finish; their
+                    # results are discarded).
+                    pool.shutdown(wait=False, cancel_futures=True)
                     raise _point_error(parameter, x, exc) from exc
             ys = tuple(ys)
     return SweepResult(parameter=parameter, xs=xs, ys=ys)
@@ -149,9 +160,17 @@ def crossing_index(xs: Sequence[float], ys: Sequence[float]) -> int | None:
 
     Used to locate a pseudo-threshold on a sweep of logical error
     versus physical error: below threshold ``y < x``, above it
-    ``y > x``.
+    ``y > x``.  Non-finite values raise :class:`AnalysisError`: a NaN
+    would silently compare as "below identity" (``NaN >= x`` is False)
+    and be walked past, letting a corrupted sweep fabricate a
+    threshold.
     """
     for index, (x, y) in enumerate(zip(xs, ys)):
+        if not (isfinite(x) and isfinite(y)):
+            raise AnalysisError(
+                f"crossing_index needs finite values, got "
+                f"(x={x!r}, y={y!r}) at index {index}"
+            )
         if y >= x:
             return index
     return None

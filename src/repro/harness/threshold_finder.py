@@ -227,68 +227,24 @@ def _measure_point(
     return rate, 0, spent
 
 
-def find_pseudo_threshold_adaptive(
-    evaluate: Callable[[float, int, int], tuple[float, int]],
+def _validate_bracket(
+    f_low: float,
+    sign_low: int,
+    f_high: float,
+    sign_high: int,
     lower: float,
     upper: float,
-    trials: int,
-    iterations: int = 12,
-    cycles: int = 1,
-    z: float = 3.0,
-    seed: int | None = 0,
-    parallel: int | bool | None = None,
-) -> PseudoThreshold:
-    """Budget-aware bisection for the crossing ``f(g) = g``.
+) -> None:
+    """Endpoint validation shared by both search forms.
 
-    ``evaluate(g, n_trials, seed)`` must return ``(per_cycle_rate,
-    failures)`` like :func:`logical_error_per_cycle`.  A bisection step
-    only consumes the *sign* of ``f(g) - g``, so each point first runs
-    at 1/16 of ``trials`` and escalates to the full budget only when
-    the ``z``-sigma Wilson interval of the small run straddles the
-    identity line; points far from the crossing — most of them, early
-    in the search — are decided at a fraction of the cost.  When even
-    the full budget cannot separate a midpoint from the identity, the
-    crossing has been located to within the budget's statistical
-    resolution and the search stops there (``resolution_limited``)
-    instead of bisecting noise.
-
-    Per-stage seeds are spawned deterministically from ``seed``; the
-    two bracket validations run through :func:`~repro.harness.sweep.sweep`
-    (``parallel`` forwards there; ``evaluate`` must then be picklable).
+    An endpoint the full budget cannot separate (sign 0) falls back to
+    the point-estimate comparison — the fixed-budget behaviour — so
+    tiny CI budgets still get a best-effort search; only an endpoint on
+    the wrong side of the identity line is a caller error.  One shared
+    implementation, so the stacked and sequential forms can never
+    diverge on the inequalities or messages (the bit-identity
+    contract).
     """
-    if not 0 <= lower < upper <= 1:
-        raise AnalysisError(f"need 0 <= lower < upper <= 1, got {lower}, {upper}")
-    if trials < 1:
-        raise AnalysisError(f"trials must be >= 1, got {trials}")
-    stages = tuple(dict.fromkeys((max(trials // 16, 1), trials)))
-    gate_cycles = 2 * cycles
-    # One seed tuple per potential evaluation, spawned up front so the
-    # whole search is a pure function of ``seed``.
-    all_seeds = spawn_seeds(seed, (2 + iterations) * len(stages))
-    seed_tuples = [
-        tuple(all_seeds[i * len(stages):(i + 1) * len(stages)])
-        for i in range(2 + iterations)
-    ]
-    measure = partial(
-        _measure_point,
-        evaluate=evaluate,
-        stages=stages,
-        z=z,
-        gate_cycles=gate_cycles,
-    )
-    bracket = sweep(
-        measure,
-        ((lower, seed_tuples[0]), (upper, seed_tuples[1])),
-        parameter="g",
-        parallel=parallel,
-    )
-    (f_low, sign_low, spent_low), (f_high, sign_high, spent_high) = bracket.ys
-    evaluations = 2
-    trials_spent = spent_low + spent_high
-    # An endpoint the full budget cannot separate (sign 0) falls back to
-    # the point-estimate comparison — the fixed-budget behaviour — so
-    # tiny CI budgets still get a best-effort search; only an endpoint
-    # on the wrong side of the identity line is a caller error.
     if sign_low > 0 or (sign_low == 0 and f_low >= lower):
         raise AnalysisError(
             f"error rate {f_low:.3g} at g={lower:.3g} is not below identity; "
@@ -299,10 +255,29 @@ def find_pseudo_threshold_adaptive(
             f"error rate {f_high:.3g} at g={upper:.3g} is not above identity; "
             "raise the bracket"
         )
+
+
+def _bisect(
+    measure_middle: Callable[[int, float, float, float], tuple[int, int]],
+    lower: float,
+    upper: float,
+    iterations: int,
+    trials_spent: int,
+) -> PseudoThreshold:
+    """The bisection driver shared by both search forms.
+
+    ``measure_middle(iteration, low, middle, high) -> (sign, spent)``
+    encapsulates how a form evaluates one midpoint; everything else —
+    bracket updates, billing, the resolution-limited stop, the final
+    estimate — lives here exactly once, so the two forms cannot drift
+    apart.  ``trials_spent`` enters as the bracket spend and
+    ``evaluations`` counts from the bracket's two.
+    """
+    evaluations = 2
     low, high = lower, upper
     for iteration in range(iterations):
         middle = (low + high) / 2.0
-        _, sign, spent = measure((middle, seed_tuples[2 + iteration]))
+        sign, spent = measure_middle(iteration, low, middle, high)
         evaluations += 1
         trials_spent += spent
         if sign == 0:
@@ -322,6 +297,326 @@ def find_pseudo_threshold_adaptive(
         bracket=(low, high),
         evaluations=evaluations,
         trials_spent=trials_spent,
+    )
+
+
+def _search_stages(trials: int) -> tuple[int, ...]:
+    """The escalation ladder: 1/16 of the budget, then the full budget."""
+    return tuple(dict.fromkeys((max(trials // 16, 1), trials)))
+
+
+def _spawn_stage_seeds(
+    seed: int | None, stages: tuple[int, ...], iterations: int
+) -> list[tuple[int, ...]]:
+    """One seed tuple per potential evaluation, spawned up front.
+
+    Index 0 is the lower bracket endpoint, 1 the upper, ``2 + i`` the
+    midpoint of bisection iteration ``i`` — whichever point *becomes*
+    that midpoint — so the whole search is a pure function of ``seed``
+    and two searches that evaluate the same points consume identical
+    per-stage seeds regardless of how the evaluations were batched.
+    """
+    all_seeds = spawn_seeds(seed, (2 + iterations) * len(stages))
+    return [
+        tuple(all_seeds[i * len(stages):(i + 1) * len(stages)])
+        for i in range(2 + iterations)
+    ]
+
+
+def cycle_stage_spec(
+    gate_error: float,
+    n_trials: int,
+    seed: int,
+    cycles: int = 1,
+    include_resets: bool = True,
+) -> RunSpec:
+    """One escalation stage of the cycle-error workload as a spec.
+
+    The ``spec_builder`` the stacked threshold search feeds to its
+    :class:`~repro.runtime.Executor` — module-level (and building on
+    the memoised cycle processor) so specs are picklable and every
+    stage of every candidate shares ONE compiled circuit.  A search
+    with ``cycles != 1`` must bind the same value here
+    (``functools.partial(cycle_stage_spec, cycles=...)``) so the
+    circuit matches the search's rate normalisation.
+    """
+    return cycle_error_specs(((gate_error, seed),), n_trials, cycles, include_resets)[0]
+
+
+class _StackedStageEvaluator:
+    """Evaluates batches of search stages as one stacked Executor run.
+
+    A *request* is ``(candidate, stage, gate_error)``; results are
+    cached under the same key, so the round planner can speculatively
+    request both children of a midpoint and the unused branch is simply
+    never re-run.  Every request's spec carries the candidate's
+    pre-spawned stage seed, which makes each evaluation bit-identical
+    to the sequential search evaluating the same point — stacking is an
+    execution detail, never a statistical one.
+    """
+
+    def __init__(self, spec_builder, stages, seed_tuples, cycles, policy):
+        self.spec_builder = spec_builder
+        self.stages = stages
+        self.seed_tuples = seed_tuples
+        self.cycles = cycles
+        self.executor = Executor(policy)
+        self.results: dict[tuple[int, int, float], tuple[float, int]] = {}
+
+    def __contains__(self, request) -> bool:
+        return request in self.results
+
+    def __getitem__(self, request) -> tuple[float, int]:
+        return self.results[request]
+
+    def run_batch(self, requests) -> None:
+        """Evaluate all not-yet-cached requests in one stacked call."""
+        pending = [
+            request
+            for request in dict.fromkeys(requests)
+            if request not in self.results
+        ]
+        if not pending:
+            return
+        specs = []
+        for candidate, stage, gate_error in pending:
+            n = self.stages[stage]
+            spec = self.spec_builder(
+                gate_error, n, self.seed_tuples[candidate][stage]
+            )
+            if spec.trials != n:
+                raise AnalysisError(
+                    f"spec_builder returned {spec.trials} trials for a "
+                    f"{n}-trial stage at g={gate_error:.3g}; the stage "
+                    "budget is not negotiable"
+                )
+            specs.append(spec)
+        for request, result in zip(pending, self.executor.run(specs)):
+            n = self.stages[request[1]]
+            self.results[request] = (
+                per_cycle_rate(result.failures, n, self.cycles),
+                result.failures,
+            )
+
+
+def _find_pseudo_threshold_stacked(
+    spec_builder,
+    lower: float,
+    upper: float,
+    trials: int,
+    iterations: int,
+    cycles: int,
+    z: float,
+    seed: int | None,
+    policy: ExecutionPolicy | None,
+) -> PseudoThreshold:
+    """The stacked round planner behind :func:`find_pseudo_threshold_adaptive`.
+
+    Each search round becomes ONE stacked Executor call instead of a
+    chain of solo runs:
+
+    * the bracket round stacks both endpoints' first stages together
+      with the first midpoint's (speculation: the bisection needs that
+      midpoint whenever the bracket validates);
+    * a bisection round whose midpoint still needs its first stage
+      stacks it with the two *next possible* midpoints — the low-side
+      and high-side children, whose circuits are identical — and the
+      unused branch is discarded;
+    * escalation stages (whose sign may stop the whole search at the
+      budget's statistical resolution) run as their own stacked call,
+      with that round's children typically already prefetched, so no
+      full-budget stage is ever evaluated speculatively.
+
+    Every candidate keeps the pre-spawned per-stage seeds of the
+    evaluation slot it occupies, so the returned
+    :class:`PseudoThreshold` — estimate, bracket, evaluations,
+    trials_spent, resolution flag — is bit-identical to the sequential
+    search whenever the same points get evaluated (``trials_spent``
+    counts the decided evaluations' stages, exactly the sequential
+    spend; speculative stages the bisection never consumed are not
+    billed).
+    """
+    stages = _search_stages(trials)
+    final_stage = len(stages) - 1
+    gate_cycles = 2 * cycles
+    seed_tuples = _spawn_stage_seeds(seed, stages, iterations)
+    evaluator = _StackedStageEvaluator(
+        spec_builder, stages, seed_tuples, cycles,
+        policy if policy is not None else ExecutionPolicy.from_env(),
+    )
+
+    # Bracket round: both endpoints' first stages and — speculatively —
+    # the first midpoint's, in one stacked call.  Undecided endpoints
+    # escalate jointly.
+    first_middle = (lower + upper) / 2.0
+    batch = [(0, 0, lower), (1, 0, upper)]
+    if iterations >= 1:
+        batch.append((2, 0, first_middle))
+    evaluator.run_batch(batch)
+    rates = {}
+    signs = {0: 0, 1: 0}
+    spent = {0: 0, 1: 0}
+    undecided = [(0, lower), (1, upper)]
+    for stage in range(len(stages)):
+        evaluator.run_batch(
+            [(candidate, stage, g) for candidate, g in undecided]
+        )
+        still = []
+        for candidate, g in undecided:
+            rate, failures = evaluator[(candidate, stage, g)]
+            rates[candidate] = rate
+            spent[candidate] += stages[stage]
+            sign = _interval_sign(g, failures, stages[stage], z, gate_cycles)
+            signs[candidate] = sign
+            if sign == 0 and stage < final_stage:
+                still.append((candidate, g))
+        undecided = still
+        if not undecided:
+            break
+    _validate_bracket(
+        rates[0], signs[0], rates[1], signs[1], lower, upper
+    )
+
+    def measure_middle(iteration, low, middle, high):
+        """One round: walk the midpoint's stages, batching each fetch
+        with the two next possible midpoints' first stages."""
+        candidate = 2 + iteration
+        spent_here = 0
+        sign = 0
+        for stage in range(len(stages)):
+            key = (candidate, stage, middle)
+            if key not in evaluator:
+                batch = [key]
+                if stage < final_stage and iteration + 1 < iterations:
+                    # Speculate the two next possible midpoints' first
+                    # stages: unless this round's *final* stage stops
+                    # the search, one of them is the next round's
+                    # midpoint (their specs share this round's
+                    # circuit, so they ride the same stacked array).
+                    child = candidate + 1
+                    batch.append((child, 0, (low + middle) / 2.0))
+                    batch.append((child, 0, (middle + high) / 2.0))
+                evaluator.run_batch(batch)
+            _, failures = evaluator[key]
+            spent_here += stages[stage]
+            sign = _interval_sign(
+                middle, failures, stages[stage], z, gate_cycles
+            )
+            if sign:
+                break
+        return sign, spent_here
+
+    return _bisect(
+        measure_middle, lower, upper, iterations, spent[0] + spent[1]
+    )
+
+
+def find_pseudo_threshold_adaptive(
+    evaluate: Callable[[float, int, int], tuple[float, int]] | None = None,
+    lower: float | None = None,
+    upper: float | None = None,
+    trials: int | None = None,
+    iterations: int = 12,
+    cycles: int = 1,
+    z: float = 3.0,
+    seed: int | None = 0,
+    parallel: int | bool | None = None,
+    *,
+    spec_builder: Callable[[float, int, int], RunSpec] | None = None,
+    policy: ExecutionPolicy | None = None,
+) -> PseudoThreshold:
+    """Budget-aware bisection for the crossing ``f(g) = g``.
+
+    A bisection step only consumes the *sign* of ``f(g) - g``, so each
+    point first runs at 1/16 of ``trials`` and escalates to the full
+    budget only when the ``z``-sigma Wilson interval of the small run
+    straddles the identity line; points far from the crossing — most of
+    them, early in the search — are decided at a fraction of the cost.
+    When even the full budget cannot separate a midpoint from the
+    identity, the crossing has been located to within the budget's
+    statistical resolution and the search stops there
+    (``resolution_limited``) instead of bisecting noise.
+
+    The workload comes in one of two forms (exactly one):
+
+    * ``evaluate(g, n_trials, seed) -> (per_cycle_rate, failures)`` —
+      an opaque evaluator, run sequentially like
+      :func:`logical_error_per_cycle`; the two bracket validations run
+      through :func:`~repro.harness.sweep.sweep` (``parallel`` forwards
+      there; ``evaluate`` must then be picklable).
+    * ``spec_builder(g, n_trials, seed) -> RunSpec`` — a declarative
+      stage builder (e.g. :func:`cycle_stage_spec`); the search then
+      runs as STACKED rounds on :class:`~repro.runtime.Executor` under
+      ``policy``: bracket endpoints share one stacked call with the
+      speculatively evaluated first midpoint, and each bisection round
+      batches the midpoint's pending escalation stage with the two next
+      possible midpoints, discarding the unused branch.  The reported
+      rates normalise the per-run failure fraction by ``cycles`` gate
+      cycles (:func:`per_cycle_rate`), so the builder must bake the
+      MATCHING cycle count into its circuit — for ``cycles != 1`` pass
+      e.g. ``functools.partial(cycle_stage_spec, cycles=3)``, not the
+      bare builder.
+
+    Per-stage seeds are spawned deterministically from ``seed`` per
+    evaluation *slot* (bracket endpoints, then one slot per bisection
+    iteration), so both forms return bit-identical
+    :class:`PseudoThreshold` values for the same workload — stacking
+    and speculation are execution details, never statistical ones.
+    """
+    if (evaluate is None) == (spec_builder is None):
+        raise AnalysisError(
+            "provide exactly one of evaluate= (sequential) or "
+            "spec_builder= (stacked runtime) to find_pseudo_threshold_adaptive"
+        )
+    # Reject the other form's knob instead of dropping it on the floor:
+    # a caller migrating from the PR 3 signature should hear that
+    # ``parallel`` became ``policy.parallel``, not silently run serial.
+    if spec_builder is not None and parallel is not None:
+        raise AnalysisError(
+            "parallel= applies to the evaluate= form; for the stacked "
+            "search set ExecutionPolicy(parallel=...) via policy="
+        )
+    if evaluate is not None and policy is not None:
+        raise AnalysisError(
+            "policy= applies to the spec_builder= form; an evaluate= "
+            "callable controls its own execution"
+        )
+    if lower is None or upper is None or trials is None:
+        raise AnalysisError("lower, upper, and trials are required")
+    if not 0 <= lower < upper <= 1:
+        raise AnalysisError(f"need 0 <= lower < upper <= 1, got {lower}, {upper}")
+    if trials < 1:
+        raise AnalysisError(f"trials must be >= 1, got {trials}")
+    if spec_builder is not None:
+        return _find_pseudo_threshold_stacked(
+            spec_builder, lower, upper, trials, iterations, cycles, z, seed,
+            policy,
+        )
+    stages = _search_stages(trials)
+    gate_cycles = 2 * cycles
+    seed_tuples = _spawn_stage_seeds(seed, stages, iterations)
+    measure = partial(
+        _measure_point,
+        evaluate=evaluate,
+        stages=stages,
+        z=z,
+        gate_cycles=gate_cycles,
+    )
+    bracket = sweep(
+        measure,
+        ((lower, seed_tuples[0]), (upper, seed_tuples[1])),
+        parameter="g",
+        parallel=parallel,
+    )
+    (f_low, sign_low, spent_low), (f_high, sign_high, spent_high) = bracket.ys
+    _validate_bracket(f_low, sign_low, f_high, sign_high, lower, upper)
+
+    def measure_middle(iteration, low, middle, high):
+        _, sign, spent = measure((middle, seed_tuples[2 + iteration]))
+        return sign, spent
+
+    return _bisect(
+        measure_middle, lower, upper, iterations, spent_low + spent_high
     )
 
 

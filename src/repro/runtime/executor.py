@@ -48,7 +48,7 @@ from functools import partial
 
 import numpy as np
 
-from repro.core.bitplane import BitplaneState, words_for
+from repro.core.bitplane import BitplaneState, popcount_words, words_for
 from repro.core.compiled import compile_circuit
 from repro.errors import AnalysisError, SimulationError
 from repro.noise.monte_carlo import (
@@ -63,6 +63,11 @@ from repro.runtime.spec import (
     RunSpec,
     as_observable,
 )
+
+#: ``_POW2[b]`` is the uint64 word with only bit ``b`` set.  Indexing
+#: this table turns a bit-position vector into select words without the
+#: int64 -> uint64 ``astype`` copy a vectorised shift would need.
+_POW2 = np.left_shift(np.uint64(1), np.arange(64, dtype=np.uint64))
 
 
 def resolve_workers(parallel: int | bool | None, points: int) -> int:
@@ -126,13 +131,29 @@ class _StackPlan:
     ``max_groups`` pads every slot to a uniform group axis so a flat
     ``slot * max_groups + group`` *cell* index addresses any injection
     target; ``arity_flat`` holds each cell's gate arity (0 where the
-    slot has fewer groups).  Per error class, ``tables`` maps a class-op
-    index to its class-slot, group, and wire-matrix row, and ``cells``
-    maps the class's own cell grid into the global one.  Built once per
-    group run from the fused schedule.
+    slot has fewer groups).  Per error class, ``tables`` maps a
+    class-op index to its class-local cell and wire-matrix row,
+    ``cells`` maps the class's own cell grid into the global one, and
+    ``cell_bins``/``monotone`` support the sorted-cell bookkeeping (a
+    sorted cell array searchsorted against the bins IS the per-cell
+    prefix, and a monotone op -> cell map means the gathered cells are
+    already sorted, so the per-point stable sort is skipped).
+
+    When every group of every class shares ONE gate arity (the
+    transversal circuits always do), ``combined`` additionally holds
+    the merged-class tables: both classes' sites are then resolved in
+    a single bookkeeping pass per point (one segmentation, one fault
+    plane, one prefix, one flat scatter-index build over a virtual op
+    axis of gate ops followed by reset ops), and the slot loop
+    scatters through bare flat take/put instead of per-slot wire
+    gathers.  ``combined`` is ``None`` for mixed-arity circuits, which
+    keep the per-class ``randomize_stacked`` path.
+
+    Built once per compiled program (cached on it) from the fused
+    schedule.
     """
 
-    __slots__ = ("max_groups", "arity_flat", "tables", "cells")
+    __slots__ = ("max_groups", "arity_flat", "tables", "cells", "combined")
 
     def __init__(self, compiled):
         slots = compiled.slots
@@ -147,6 +168,8 @@ class _StackPlan:
                 )
         self.tables: dict[bool, tuple] = {}
         self.cells: dict[bool, np.ndarray] = {}
+        op_wires: dict[bool, np.ndarray] = {}
+        arities = set()
         for is_reset in (False, True):
             class_slots = [
                 (si, s) for si, s in enumerate(slots) if s.is_reset == is_reset
@@ -161,33 +184,188 @@ class _StackPlan:
                 [s.op_group for _, s in class_slots]
             ).astype(np.int64)
             op_row = np.concatenate([s.op_row for _, s in class_slots])
-            self.tables[is_reset] = (len(class_slots), op_slot, op_group, op_row)
+            op_cell = op_slot * self.max_groups + op_group
+            n_class_cells = len(class_slots) * self.max_groups
+            self.tables[is_reset] = (
+                op_cell,
+                op_row,
+                np.arange(n_class_cells + 1, dtype=np.int64),
+                bool(np.all(np.diff(op_cell) >= 0)),
+            )
             self.cells[is_reset] = np.concatenate(
                 [
                     si * self.max_groups + np.arange(self.max_groups)
                     for si, _ in class_slots
                 ]
             )
+            class_arities = {
+                g.wire_matrix.shape[1]
+                for _, s in class_slots
+                for g in s.groups
+            }
+            arities |= class_arities
+            if len(class_arities) == 1:
+                op_wires[is_reset] = np.concatenate(
+                    [
+                        s.groups[g].wire_matrix[r]
+                        for _, s in class_slots
+                        for g, r in zip(s.op_group, s.op_row)
+                    ]
+                ).reshape(len(op_cell), -1)
+        if self.tables and len(arities) == 1:
+            op_offset: dict[bool, int] = {}
+            cell_offset: dict[bool, int] = {}
+            cell_parts, wire_parts, global_parts = [], [], []
+            op_base = cell_base = 0
+            for is_reset in (False, True):  # the solo draw order
+                if is_reset not in self.tables:
+                    continue
+                op_cell = self.tables[is_reset][0]
+                op_offset[is_reset] = op_base
+                cell_offset[is_reset] = cell_base
+                cell_parts.append(op_cell + cell_base)
+                wire_parts.append(op_wires[is_reset])
+                global_parts.append(self.cells[is_reset])
+                op_base += len(op_cell)
+                cell_base += len(self.cells[is_reset])
+            combined_cell = np.concatenate(cell_parts)
+            self.combined = (
+                combined_cell,
+                np.ascontiguousarray(np.concatenate(wire_parts).T),
+                np.arange(cell_base + 1, dtype=np.int64),
+                np.concatenate(global_parts),
+                bool(np.all(np.diff(combined_cell) >= 0)),
+                op_offset,
+                cell_offset,
+            )
+        else:
+            self.combined = None
 
 
 class _PointSites:
     """One point's fully resolved fault sites and replacement words.
 
-    ``classes[is_reset]`` is ``(rows, word_of, select, prefix)`` with
-    the sites sorted by (class-slot, group) and ``prefix`` (plain ints)
-    slicing each class cell's run; ``block``/``block_bounds`` hold the
-    point's ONE flat replacement-word draw, sliced per global cell in
-    slot order — NumPy integer draws are stream-consistent under
-    splitting, so this single draw consumes the generator exactly like
-    the solo engine's per-slot-per-group blocks.
+    On the combined fast path ``sites`` is ``(indices, select,
+    prefix)`` — flat plane indices, packed selects, and the per-cell
+    prefix over the merged-class cell axis.  On the
+    general path ``classes[is_reset]`` is ``(rows, word_of, select,
+    prefix)`` for the per-slot ``randomize_stacked`` gather.  Either
+    way the sites are sorted by (class-slot, group) cell and ``prefix``
+    (plain ints) slices each cell's run.  ``block``/``block_bounds``
+    hold the point's ONE flat replacement-word draw, sliced per global
+    cell in slot order — NumPy integer draws are stream-consistent
+    under splitting, so this single draw consumes the generator exactly
+    like the solo engine's per-slot-per-group blocks.
     """
 
-    __slots__ = ("classes", "block", "block_bounds")
+    __slots__ = ("sites", "classes", "block", "block_bounds")
 
     def __init__(self):
+        self.sites: tuple | None = None
         self.classes: dict[bool, tuple] = {}
         self.block: np.ndarray | None = None
         self.block_bounds: list[int] = []
+
+
+def _segment_sites(virtual, n_words, trials):
+    """Collapse sorted virtual fault positions into per-word segments.
+
+    ``virtual >> 6`` is a flat (op, word) index; equal values form
+    contiguous segments whose trial bits OR into one packed select
+    word.  The select words come from differences of a modular
+    cumulative sum (bits within a segment are distinct powers of two,
+    so their OR *is* their sum, and uint64 wraparound cancels in the
+    difference) — same values as the solo engine's
+    ``bitwise_or.reduceat``, ~3x cheaper at the threshold-regime site
+    counts this path batches.  Padding bits beyond ``trials`` are
+    masked off.  Returns ``(op_of, word_of, select, fault_plane)``
+    with ``fault_plane`` the packed union of the faulted trials
+    (point-local words, padding already clear), so the caller never
+    materialises a per-trial array.
+    """
+    flat_words = virtual >> 6
+    bits = _POW2[virtual & 63]
+    boundary = np.flatnonzero(flat_words[1:] != flat_words[:-1])
+    segment_starts = np.concatenate(([0], boundary + 1))
+    summed = np.cumsum(bits, dtype=np.uint64)
+    last = np.concatenate((summed[boundary], summed[-1:]))
+    select = np.empty_like(last)
+    select[0] = last[0]
+    np.subtract(last[1:], last[:-1], out=select[1:])
+    affected = flat_words[segment_starts]
+    op_of = affected // n_words
+    word_of = affected - op_of * n_words
+    if trials % 64:
+        select[word_of == n_words - 1] &= np.uint64((1 << (trials % 64)) - 1)
+    fault_plane = np.zeros(n_words, dtype=np.uint64)
+    np.bitwise_or.at(fault_plane, word_of, select)
+    return op_of, word_of, select, fault_plane
+
+
+def _point_sites_combined(
+    rng: np.random.Generator,
+    spec: RunSpec,
+    compiled,
+    plan: _StackPlan,
+    n_words: int,
+    trials: int,
+    word_offset: int,
+    plane_stride: int,
+) -> tuple | None:
+    """Draw and fully resolve BOTH error classes' faults for one point.
+
+    The draws stay one gap-jumping pass per class in the solo order
+    (gate class, then reset class — the RNG stream contract), but the
+    bookkeeping runs ONCE over the merged virtual axis (gate ops
+    followed by reset ops, so the concatenated positions stay sorted):
+    one segmentation, one fault plane, one per-cell prefix, and one
+    flat scatter-index build through the plan's merged wire table.
+    Returns ``(indices, select, prefix, fault_plane)`` or
+    ``None`` when nothing was drawn; ``indices`` addresses the flat
+    plane buffer of the whole stacked array, so the slot loop scatters
+    with a bare take/put per slot group.
+    """
+    padded = n_words * 64
+    op_cell, op_wires, bins, _, monotone, op_offset, _ = plan.combined
+    chunks = []
+    for is_reset, count in (
+        (False, compiled.n_gate_ops),
+        (True, compiled.n_reset_ops),
+    ):
+        error = (
+            spec.noise.effective_reset_error
+            if is_reset
+            else spec.noise.gate_error
+        )
+        if error <= 0.0 or count == 0 or is_reset not in plan.tables:
+            continue
+        virtual = _bernoulli_positions(rng, error, count * padded)
+        if not virtual.size:
+            continue
+        base = op_offset[is_reset] * padded
+        chunks.append(virtual + base if base else virtual)
+    if not chunks:
+        return None
+    virtual = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    op_of, word_of, select, fault_plane = _segment_sites(
+        virtual, n_words, trials
+    )
+    if word_offset:
+        word_of = word_of + word_offset
+    cell = op_cell[op_of]
+    if not monotone:
+        # Multi-group slots interleave their groups' sites; a stable
+        # sort makes every cell's run contiguous without reordering
+        # sites within a group (the solo scatter order).  ``op_of`` is
+        # sorted, so a monotone op -> cell map needs no sort at all.
+        order = np.argsort(cell, kind="stable")
+        op_of = op_of[order]
+        word_of = word_of[order]
+        select = select[order]
+        cell = cell[order]
+    prefix = np.searchsorted(cell, bins)
+    indices = op_wires[:, op_of] * plane_stride + word_of
+    return indices, select, prefix, fault_plane
 
 
 def _point_class_sites(
@@ -197,55 +375,38 @@ def _point_class_sites(
     n_words: int,
     trials: int,
     word_offset: int,
-    tables: tuple,
-    max_groups: int,
+    plan: _StackPlan,
+    is_reset: bool,
 ) -> tuple | None:
     """Draw and fully resolve one error class's faults for one point.
 
-    One gap-jumping pass over the ``ops x (n_words * 64)`` virtual axis
-    (exactly the single-point engine's draw), then ONE segmentation of
-    the whole class: equal flat ``(op, word)`` indices collapse into a
-    packed select word via reduceat, padding bits beyond ``trials`` are
-    masked off, every site is annotated with its wire-matrix row and
-    destination word in the stacked array, and the sites are ordered by
-    (class-slot, group) cell — stably, so the within-group order the
-    solo engine would scatter in is preserved.  Returns ``(rows,
-    word_of, select, cell_counts, real_trials)`` or ``None`` when the
-    class draws nothing; the slot loop slices runs off the counts'
-    prefix sums instead of doing any per-slot work.
+    The general (mixed-arity) counterpart of
+    :func:`_point_sites_combined`: one gap-jumping pass over the
+    class's ``ops x (n_words * 64)`` virtual axis (exactly the
+    single-point engine's draw), one segmentation, and sites annotated
+    with their wire-matrix row for the per-slot
+    ``randomize_stacked`` gather.  Returns ``(rows, word_of, select,
+    prefix, fault_plane)`` or ``None`` when the class draws nothing.
     """
     padded = n_words * 64
     virtual = _bernoulli_positions(rng, error, ops * padded)
     if not virtual.size:
         return None
-    n_class_slots, op_slot, op_group, op_row = tables
-    flat_words = virtual >> 6
-    bits = np.uint64(1) << (virtual & 63).astype(np.uint64)
-    segment_starts = np.concatenate(
-        ([0], np.flatnonzero(flat_words[1:] != flat_words[:-1]) + 1)
+    op_cell, op_row, bins, monotone = plan.tables[is_reset]
+    op_of, word_of, select, fault_plane = _segment_sites(
+        virtual, n_words, trials
     )
-    select = np.bitwise_or.reduceat(bits, segment_starts)
-    affected = flat_words[segment_starts]
-    class_op = affected // n_words
-    word_of = affected - class_op * n_words
-    if trials % 64:
-        select[word_of == n_words - 1] &= np.uint64((1 << (trials % 64)) - 1)
     if word_offset:
         word_of = word_of + word_offset
-    rows = op_row[class_op]
-    cell = op_slot[class_op] * max_groups + op_group[class_op]
-    if (np.diff(cell) < 0).any():
-        # Multi-group slots interleave their groups' sites; a stable
-        # sort makes every cell's run contiguous without reordering
-        # sites within a group (the solo scatter order).
+    cell = op_cell[op_of]
+    if not monotone:
         order = np.argsort(cell, kind="stable")
-        rows = rows[order]
+        op_of = op_of[order]
         word_of = word_of[order]
         select = select[order]
         cell = cell[order]
-    counts = np.bincount(cell, minlength=n_class_slots * max_groups)
-    trial_of = virtual % padded
-    return rows, word_of, select, counts, trial_of[trial_of < trials]
+    prefix = np.searchsorted(cell, bins)
+    return op_row[op_of], word_of, select, prefix, fault_plane
 
 
 def _run_group_stacked(
@@ -271,7 +432,13 @@ def _run_group_stacked(
     compiled = compile_circuit(
         first.circuit, fuse=True, cache=policy.compile_cache
     )
-    plan = _StackPlan(compiled)
+    # The plan is pure structure derived from the fused schedule, so it
+    # rides on the compiled program: a bisection or sweep re-running one
+    # circuit builds it exactly once per process.
+    plan = getattr(compiled, "_stack_plan", None)
+    if plan is None:
+        plan = _StackPlan(compiled)
+        compiled._stack_plan = plan
     max_groups = plan.max_groups
     words = [words_for(spec.trials) for spec in specs]
     offsets = [0]
@@ -281,49 +448,55 @@ def _run_group_stacked(
     states = BitplaneState.broadcast(first.input_bits, total_words * 64)
     rngs = [_as_generator(spec.seed) for spec in specs]
 
-    # Phase 1 — per point: one draw + one segmentation per error class
-    # (solo order: gate class, then reset class), then ONE flat
+    # Phase 1 — per point: one gap-jumping draw per error class (solo
+    # order: gate class, then reset class), the bookkeeping merged into
+    # one pass on the combined fast path, then ONE flat
     # replacement-word draw covering every cell the point will inject.
     points: list[_PointSites] = []
     faulted: list[int] = []
     n_cells = len(compiled.slots) * max_groups
+    combined = plan.combined
     for p, spec in enumerate(specs):
         point = _PointSites()
-        hit = None
+        hit_plane = None
         cell_sites = np.zeros(n_cells, dtype=np.int64)
-        for is_reset, count in (
-            (False, compiled.n_gate_ops),
-            (True, compiled.n_reset_ops),
-        ):
-            error = (
-                spec.noise.effective_reset_error
-                if is_reset
-                else spec.noise.gate_error
+        if combined is not None:
+            drawn = _point_sites_combined(
+                rngs[p], spec, compiled, plan,
+                words[p], spec.trials, offsets[p], total_words,
             )
-            if error <= 0.0 or count == 0 or is_reset not in plan.tables:
-                continue
-            drawn = _point_class_sites(
-                rngs[p],
-                error,
-                count,
-                words[p],
-                spec.trials,
-                offsets[p],
-                plan.tables[is_reset],
-                max_groups,
-            )
-            if drawn is None:
-                continue
-            rows, word_of, select, counts, real = drawn
-            if hit is None:
-                hit = np.zeros(spec.trials, dtype=bool)
-            hit[real] = True
-            prefix = [0]
-            for value in counts.tolist():
-                prefix.append(prefix[-1] + value)
-            point.classes[is_reset] = (rows, word_of, select, prefix)
-            cell_sites[plan.cells[is_reset]] = counts
-        if point.classes:
+            if drawn is not None:
+                indices, select, prefix, hit_plane = drawn
+                point.sites = (indices, select, prefix.tolist())
+                cell_sites[combined[3]] = np.diff(prefix)
+        else:
+            for is_reset, count in (
+                (False, compiled.n_gate_ops),
+                (True, compiled.n_reset_ops),
+            ):
+                error = (
+                    spec.noise.effective_reset_error
+                    if is_reset
+                    else spec.noise.gate_error
+                )
+                if error <= 0.0 or count == 0 or is_reset not in plan.tables:
+                    continue
+                drawn = _point_class_sites(
+                    rngs[p], error, count,
+                    words[p], spec.trials, offsets[p], plan, is_reset,
+                )
+                if drawn is None:
+                    continue
+                rows, word_of, select, prefix, fault_plane = drawn
+                if hit_plane is None:
+                    hit_plane = fault_plane
+                else:
+                    hit_plane |= fault_plane
+                point.classes[is_reset] = (
+                    rows, word_of, select, prefix.tolist()
+                )
+                cell_sites[plan.cells[is_reset]] = np.diff(prefix)
+        if point.sites is not None or point.classes:
             bounds = [0]
             for value in (cell_sites * plan.arity_flat).tolist():
                 bounds.append(bounds[-1] + value)
@@ -332,17 +505,35 @@ def _run_group_stacked(
                 0, 2**64, size=bounds[-1], dtype=np.uint64
             )
         points.append(point)
-        faulted.append(0 if hit is None else int(hit.sum()))
-    points_with = {
-        is_reset: [
-            p for p in range(len(specs)) if is_reset in points[p].classes
-        ]
-        for is_reset in (False, True)
-    }
+        faulted.append(0 if hit_plane is None else popcount_words(hit_plane))
+    if combined is not None:
+        active = [p for p in range(len(specs)) if points[p].sites is not None]
+        points_with = {False: active, True: active}
+    else:
+        points_with = {
+            is_reset: [
+                p for p in range(len(specs)) if is_reset in points[p].classes
+            ]
+            for is_reset in (False, True)
+        }
 
     # Phase 2 — the slot loop: one stacked apply per program group,
     # pure slicing of each point's precomputed sites and word block,
-    # and one scatter per group for all points together.
+    # and one scatter per group for all points together.  The combined
+    # fast path scatters through a bare take/put on the flat plane
+    # buffer; mixed-arity circuits go through ``randomize_stacked``'s
+    # per-call wire gather.  The reshape MUST alias the planes (a
+    # non-contiguous array would silently reshape into a copy and every
+    # put would write to a dead buffer); broadcast allocates contiguous,
+    # and this fails loudly — not via assert, which -O strips — if that
+    # invariant is ever broken.
+    if not states.planes.flags.c_contiguous:
+        raise SimulationError(
+            "stacked executor requires C-contiguous planes; the flat "
+            "scatter view would silently become a copy"
+        )
+    flat_planes = states.planes.reshape(-1)
+    cell_offset = combined[6] if combined is not None else None
     class_slot_index = {False: 0, True: 0}
     for si, slot in enumerate(compiled.slots):
         if slot.is_reset:
@@ -353,14 +544,52 @@ def _run_group_stacked(
                 states.apply_program_stacked(
                     group.program, group.wire_matrix, group.row_slices
                 )
+        active = points_with[slot.is_reset]
+        if not active:
+            continue
         slot_c = class_slot_index[slot.is_reset]
         class_slot_index[slot.is_reset] = slot_c + 1
-        class_base = slot_c * max_groups
         global_base = si * max_groups
+        if combined is not None:
+            cell_base = cell_offset[slot.is_reset] + slot_c * max_groups
+            for index in range(len(slot.groups)):
+                cell = cell_base + index
+                parts = []
+                for p in active:
+                    point = points[p]
+                    indices, select, prefix = point.sites
+                    start = prefix[cell]
+                    stop = prefix[cell + 1]
+                    if stop <= start:
+                        continue
+                    b0 = point.block_bounds[global_base + index]
+                    b1 = point.block_bounds[global_base + index + 1]
+                    parts.append(
+                        (
+                            indices[:, start:stop],
+                            select[start:stop],
+                            point.block[b0:b1].reshape(-1, stop - start),
+                        )
+                    )
+                if not parts:
+                    continue
+                if len(parts) == 1:
+                    indices, select, blocks = parts[0]
+                else:
+                    indices = np.concatenate([p[0] for p in parts], axis=1)
+                    select = np.concatenate([p[1] for p in parts])
+                    blocks = np.concatenate([p[2] for p in parts], axis=1)
+                current = flat_planes.take(indices)
+                # c ^ ((c ^ b) & s) == (b & s) | (c & ~s), one pass less.
+                flat_planes.put(
+                    indices, current ^ ((current ^ blocks) & select)
+                )
+            continue
+        class_base = slot_c * max_groups
         gathered: list[list[tuple[np.ndarray, ...]]] = [
             [] for _ in slot.groups
         ]
-        for p in points_with[slot.is_reset]:
+        for p in active:
             point = points[p]
             rows, word_of, select, prefix = point.classes[slot.is_reset]
             bounds = point.block_bounds
@@ -395,12 +624,40 @@ def _run_group_stacked(
                 group.wire_matrix, None, rows, word_of, select, blocks
             )
 
+    # Phase 3 — observation.  Points sharing one observable (the sweep
+    # and threshold-search common case) are decoded in ONE stacked pass
+    # over the whole plane array; each point's count is read off its
+    # window of the resulting failure plane, so the decode cost is paid
+    # per *batch*, not per point.  Observables without a stacked path —
+    # and singleton clusters, where stacking buys nothing — keep the
+    # per-window ``count_failures`` call.
+    failure_counts: list[int | None] = [None] * len(specs)
+    clusters: list[tuple[object, list[int]]] = []
+    for p, spec in enumerate(specs):
+        observable = as_observable(spec.observable)
+        if hasattr(observable, "count_failures_stacked"):
+            for seen, members in clusters:
+                if seen == observable:
+                    members.append(p)
+                    break
+            else:
+                clusters.append((observable, [p]))
+    for observable, members in clusters:
+        if len(members) < 2:
+            continue
+        counts = observable.count_failures_stacked(
+            states, [(offsets[p], specs[p].trials) for p in members]
+        )
+        for p, count in zip(members, counts):
+            failure_counts[p] = count
     results = []
     for p, spec in enumerate(specs):
-        window = BitplaneState(
-            states.planes[:, offsets[p]:offsets[p] + words[p]], spec.trials
-        )
-        failures = as_observable(spec.observable).count_failures(window)
+        failures = failure_counts[p]
+        if failures is None:
+            window = BitplaneState(
+                states.planes[:, offsets[p]:offsets[p] + words[p]], spec.trials
+            )
+            failures = as_observable(spec.observable).count_failures(window)
         results.append(
             PointResult(
                 failures=failures,
@@ -415,13 +672,15 @@ def _run_group_stacked(
 def _run_group(specs: Sequence[RunSpec], policy: ExecutionPolicy) -> list[PointResult]:
     """Evaluate one group in-process (also the pool's task function)."""
     engine = resolve_engine(policy.engine, specs[0].trials)
-    if engine == "bitplane" and policy.fuse and len(specs) > 1:
+    if engine == "bitplane" and policy.fuse:
+        # Lone points ride the stacked path too: it reproduces a solo
+        # run bit for bit, and its cached plan, segmented fault pass,
+        # and packed bookkeeping beat the classic runner even for a
+        # single point.
         return _run_group_stacked(specs, policy)
-    # Lone points take the classic single-point runner directly (the
-    # stacked machinery would reproduce it bit for bit, with setup
-    # cost); the batched engine has no plane axis to stack on, and
-    # unfused execution must keep the pre-fusion per-op RNG stream —
-    # all three run point by point.
+    # The batched engine has no plane axis to stack on, and unfused
+    # execution must keep the pre-fusion per-op RNG stream — both run
+    # point by point through the classic runner.
     return [_run_point_legacy(spec, engine, policy) for spec in specs]
 
 
@@ -470,6 +729,11 @@ class Executor:
                     try:
                         group_results = future.result()
                     except Exception as exc:
+                        # Cancel the not-yet-started groups so the
+                        # error surfaces promptly instead of waiting
+                        # for the rest of the batch (mirrors the
+                        # harness sweep's fail-fast behaviour).
+                        pool.shutdown(wait=False, cancel_futures=True)
                         raise SimulationError(
                             f"executor group starting at {specs[indices[0]]!r} "
                             f"failed: {exc}"

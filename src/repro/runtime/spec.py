@@ -35,7 +35,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.bitplane import BitplaneState
+from repro.core.bitplane import BitplaneState, count_trial_ones, words_for
 from repro.core.circuit import Circuit
 from repro.core.simulator import BatchedState
 from repro.errors import SimulationError
@@ -83,7 +83,10 @@ class DecodeObservable:
     ``decoder`` is any object with ``count_decode_failures(states,
     expected)`` — e.g. :class:`~repro.coding.logical.LogicalProcessor`,
     whose bit-plane path compares majority planes without unpacking a
-    single trial (the threshold pipeline's hot decode).
+    single trial (the threshold pipeline's hot decode).  Decoders that
+    also expose ``decode_failure_plane(states, expected)`` additionally
+    get the *stacked* decode: one failure plane computed across a whole
+    multi-point plane array, counted per point window.
     """
 
     decoder: object
@@ -91,6 +94,38 @@ class DecodeObservable:
 
     def count_failures(self, states: States) -> int:
         return int(self.decoder.count_decode_failures(states, self.expected))
+
+    def count_failures_stacked(
+        self, states: BitplaneState, windows
+    ) -> list[int]:
+        """Per-window failure counts of a stacked multi-point array.
+
+        ``windows`` is a sequence of ``(word_offset, trials)`` pairs
+        describing each point's word-aligned window of ``states``.  The
+        decoder's failure plane is computed ONCE over the full array
+        (plane operations are wordwise, so each window's slice equals
+        the plane a solo decode of that window would produce) and then
+        counted per window with that window's own padding mask —
+        bit-identical to calling :meth:`count_failures` on each window
+        view, at one decode pass instead of one per point.  Decoders
+        without ``decode_failure_plane`` fall back to exactly that
+        per-window path.
+        """
+        decode_plane = getattr(self.decoder, "decode_failure_plane", None)
+        if decode_plane is None:
+            counts = []
+            for offset, trials in windows:
+                window = BitplaneState(
+                    states.planes[:, offset:offset + words_for(trials)],
+                    trials,
+                )
+                counts.append(self.count_failures(window))
+            return counts
+        failed = decode_plane(states, self.expected)
+        return [
+            count_trial_ones(failed[offset:offset + words_for(trials)], trials)
+            for offset, trials in windows
+        ]
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,6 @@ import pytest
 
 from repro.harness.experiments import (
     REGISTRY,
-    parallel_workers,
     run_experiment,
     trial_budget,
 )
@@ -55,14 +54,6 @@ class TestRegistry:
         for experiment in REGISTRY.values():
             assert experiment.paper_ref
             assert experiment.description
-
-    def test_parallel_workers_env(self, monkeypatch):
-        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
-        assert parallel_workers() == 0
-        monkeypatch.setenv("REPRO_PARALLEL", "3")
-        assert parallel_workers() == 3
-        monkeypatch.setenv("REPRO_PARALLEL", "max")
-        assert parallel_workers() is True
 
 
 class TestExperimentsRecord:

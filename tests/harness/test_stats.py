@@ -54,6 +54,19 @@ class TestRateEstimate:
         assert estimate.compatible_with(0.25)
         assert not estimate.compatible_with(0.9)
 
+    @pytest.mark.parametrize("trials", [0, -5])
+    def test_zero_or_negative_trials_rejected_at_construction(self, trials):
+        # Regression: this used to construct fine and then raise a bare
+        # ZeroDivisionError from .rate; now it fails loudly up front,
+        # consistent with wilson_interval.
+        with pytest.raises(AnalysisError):
+            RateEstimate(failures=0, trials=trials)
+
+    @pytest.mark.parametrize("failures", [-1, 11])
+    def test_out_of_range_failures_rejected(self, failures):
+        with pytest.raises(AnalysisError):
+            RateEstimate(failures=failures, trials=10)
+
 
 class TestRequiredTrials:
     def test_rarer_events_need_more_trials(self):

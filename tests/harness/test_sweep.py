@@ -71,6 +71,15 @@ def explode_on_three(x):
     return x * x
 
 
+def explode_fast_or_sleep(x):
+    import time
+
+    if x == 0:
+        raise ValueError("first point exploded")
+    time.sleep(0.4)
+    return x
+
+
 class TestFailureAttribution:
     def test_serial_failure_names_the_point(self):
         with pytest.raises(AnalysisError, match=r"g=3 failed.*point exploded"):
@@ -90,6 +99,31 @@ class TestFailureAttribution:
         with pytest.raises(AnalysisError) as info:
             sweep(explode_on_three, [1, 3], parameter="g", parallel=2)
         assert isinstance(info.value.__cause__, ValueError)
+
+    def test_parallel_failure_cancels_pending_points(self):
+        # Regression: a failing point used to re-raise inside the pool's
+        # ``with`` block, whose exit still WAITED for every remaining
+        # future — a fast failure among expensive points paid for the
+        # whole grid.  With cancel_futures the failing sweep costs
+        # about one in-flight sleeper, like the 2-point baseline below
+        # (which pays the same pool startup), NOT the ~4 extra sleeper
+        # rounds the serialised remainder of a 9-point grid would take
+        # on two workers.  Comparing against the measured baseline
+        # keeps the assertion robust to pool-startup and machine speed.
+        import time
+
+        start = time.perf_counter()
+        sweep(explode_fast_or_sleep, [1, 2], parallel=2)
+        baseline = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with pytest.raises(AnalysisError, match="first point exploded"):
+            sweep(explode_fast_or_sleep, list(range(9)), parallel=2)
+        elapsed = time.perf_counter() - start
+        assert elapsed < baseline + 1.0, (
+            f"failing sweep took {elapsed:.2f}s vs {baseline:.2f}s "
+            "baseline; pending points were not cancelled"
+        )
 
 
 class TestSpawnSeeds:
@@ -144,3 +178,20 @@ class TestCrossing:
 
     def test_none_when_always_below(self):
         assert crossing_index([0.1, 0.2], [0.01, 0.02]) is None
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_y_rejected(self, bad):
+        # Regression: NaN >= x is False, so a NaN used to be silently
+        # treated as "below identity" and walked past — a corrupted
+        # sweep could fabricate a crossing at a later index.
+        with pytest.raises(AnalysisError, match="finite"):
+            crossing_index([0.1, 0.2, 0.3], [0.01, bad, 0.5])
+
+    def test_non_finite_x_rejected(self):
+        with pytest.raises(AnalysisError, match="finite"):
+            crossing_index([0.1, float("nan")], [0.01, 0.02])
+
+    def test_values_after_crossing_not_validated(self):
+        # The scan stops at the first crossing; trailing garbage after
+        # it cannot invalidate an already-found threshold.
+        assert crossing_index([0.1, 0.2, 0.3], [0.15, float("nan"), 0.1]) == 0

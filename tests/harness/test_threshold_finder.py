@@ -8,11 +8,14 @@ from repro.analysis.threshold import threshold
 from repro.harness.threshold_finder import (
     _PROCESSOR_CACHE,
     _cycle_processor,
+    cycle_stage_spec,
     find_pseudo_threshold,
     find_pseudo_threshold_adaptive,
     logical_error_per_cycle,
+    measure_cycle_errors,
 )
 from repro.errors import AnalysisError
+from repro.runtime import ExecutionPolicy, RunSpec
 
 
 class TestLogicalErrorPerCycle:
@@ -146,3 +149,152 @@ class TestAdaptiveBisection:
         first = find_pseudo_threshold_adaptive(analytic_evaluator, **kwargs)
         second = find_pseudo_threshold_adaptive(analytic_evaluator, **kwargs)
         assert first == second
+
+
+def cycle_stage_evaluator(gate_error, n_trials, seed):
+    """The sequential form of the stacked search's cycle workload."""
+    return measure_cycle_errors(((gate_error, seed),), n_trials)[0]
+
+
+class TestStackedSearch:
+    """The spec_builder path: stacked rounds == sequential evaluation."""
+
+    @pytest.mark.parametrize("seed", [51, 7])
+    def test_bit_identical_to_sequential(self, seed):
+        # The tentpole guarantee: same bracket, same budget, same seed
+        # -> the stacked round planner (speculative midpoints and all)
+        # returns the IDENTICAL PseudoThreshold — estimate, bracket,
+        # evaluations, trials_spent, resolution flag — as evaluating
+        # the stages one solo run at a time.
+        kwargs = dict(
+            lower=2e-3, upper=8e-2, trials=4000, iterations=6, seed=seed
+        )
+        sequential = find_pseudo_threshold_adaptive(
+            cycle_stage_evaluator, **kwargs
+        )
+        stacked = find_pseudo_threshold_adaptive(
+            spec_builder=cycle_stage_spec, **kwargs
+        )
+        assert sequential == stacked
+
+    def test_bit_identical_on_coarse_bracket(self):
+        # A coarse localisation run that stops on iteration count (not
+        # statistical resolution) exercises the no-escalation rounds.
+        kwargs = dict(
+            lower=1e-3, upper=0.256, trials=3000, iterations=3, seed=13
+        )
+        sequential = find_pseudo_threshold_adaptive(
+            cycle_stage_evaluator, **kwargs
+        )
+        stacked = find_pseudo_threshold_adaptive(
+            spec_builder=cycle_stage_spec, **kwargs
+        )
+        assert sequential == stacked
+
+    def test_mixed_engine_stages(self):
+        # A tiny budget puts the 1/16 stage below the bitplane auto
+        # threshold: stage batches then span two engine groups.  The
+        # result must still match the sequential path exactly.
+        kwargs = dict(
+            lower=2e-3, upper=8e-2, trials=2000, iterations=4, seed=3
+        )
+        sequential = find_pseudo_threshold_adaptive(
+            cycle_stage_evaluator, **kwargs
+        )
+        stacked = find_pseudo_threshold_adaptive(
+            spec_builder=cycle_stage_spec,
+            policy=ExecutionPolicy(engine="auto"),
+            **kwargs,
+        )
+        assert sequential == stacked
+
+    def test_multi_cycle_workload_contract(self):
+        # cycles != 1 must be bound into the builder as well (the
+        # search normalises rates by it); with the matching partial the
+        # stacked search stays bit-identical to the sequential form.
+        from functools import partial
+
+        kwargs = dict(
+            lower=2e-3, upper=8e-2, trials=2000, iterations=3, seed=11,
+            cycles=2,
+        )
+        sequential = find_pseudo_threshold_adaptive(
+            lambda g, n, s: measure_cycle_errors(((g, s),), n, cycles=2)[0],
+            **kwargs,
+        )
+        stacked = find_pseudo_threshold_adaptive(
+            spec_builder=partial(cycle_stage_spec, cycles=2), **kwargs
+        )
+        assert sequential == stacked
+
+    def test_deterministic(self):
+        kwargs = dict(
+            lower=2e-3, upper=8e-2, trials=3000, iterations=5, seed=21
+        )
+        first = find_pseudo_threshold_adaptive(
+            spec_builder=cycle_stage_spec, **kwargs
+        )
+        second = find_pseudo_threshold_adaptive(
+            spec_builder=cycle_stage_spec, **kwargs
+        )
+        assert first == second
+
+    def test_bracket_validation(self):
+        with pytest.raises(AnalysisError, match="not below identity"):
+            find_pseudo_threshold_adaptive(
+                spec_builder=cycle_stage_spec,
+                lower=6e-2,
+                upper=8e-2,
+                trials=3000,
+                seed=1,
+            )
+
+    def test_exactly_one_workload_form(self):
+        with pytest.raises(AnalysisError, match="exactly one"):
+            find_pseudo_threshold_adaptive(
+                cycle_stage_evaluator,
+                lower=1e-3,
+                upper=0.1,
+                trials=100,
+                spec_builder=cycle_stage_spec,
+            )
+        with pytest.raises(AnalysisError, match="exactly one"):
+            find_pseudo_threshold_adaptive(lower=1e-3, upper=0.1, trials=100)
+
+    def test_required_arguments(self):
+        with pytest.raises(AnalysisError, match="required"):
+            find_pseudo_threshold_adaptive(spec_builder=cycle_stage_spec)
+
+    def test_mismatched_form_knobs_rejected(self):
+        # The other form's knob must fail loudly, not be silently
+        # dropped (a PR 3 caller migrating to spec_builder= would
+        # otherwise believe parallel= still took effect).
+        with pytest.raises(AnalysisError, match="policy"):
+            find_pseudo_threshold_adaptive(
+                spec_builder=cycle_stage_spec,
+                lower=1e-3,
+                upper=0.1,
+                trials=100,
+                parallel=4,
+            )
+        with pytest.raises(AnalysisError, match="spec_builder"):
+            find_pseudo_threshold_adaptive(
+                cycle_stage_evaluator,
+                lower=1e-3,
+                upper=0.1,
+                trials=100,
+                policy=ExecutionPolicy(),
+            )
+
+    def test_spec_builder_budget_mismatch_fails_loudly(self):
+        def wrong_budget(gate_error, n_trials, seed) -> RunSpec:
+            return cycle_stage_spec(gate_error, max(n_trials // 2, 1), seed)
+
+        with pytest.raises(AnalysisError, match="stage budget"):
+            find_pseudo_threshold_adaptive(
+                spec_builder=wrong_budget,
+                lower=2e-3,
+                upper=8e-2,
+                trials=1000,
+                seed=1,
+            )

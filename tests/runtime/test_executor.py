@@ -181,6 +181,45 @@ class TestStackedBatchingBitIdentity:
         ).run_one(spec)
         assert result.failures == expected
 
+    def test_clustered_decode_with_unaligned_windows(self):
+        # Three specs share ONE DecodeObservable (decoded by a single
+        # stacked failure-plane pass) while a fourth carries its own —
+        # every count must still equal its solo run, including the
+        # non-word-aligned windows.
+        processor = LogicalProcessor(3, include_resets=True)
+        processor.apply(library.MAJ, 0, 1, 2)
+        physical = processor.physical_input((1, 0, 1))
+        shared = DecodeObservable(processor, (1, 0, 1))
+        lone = DecodeObservable(processor, (1, 0, 0))
+        specs = [
+            RunSpec(
+                circuit=processor.circuit,
+                input_bits=physical,
+                observable=observable,
+                noise=NoiseModel(gate_error=g),
+                trials=trials,
+                seed=seed,
+            )
+            for seed, (g, trials, observable) in enumerate(
+                (
+                    (0.01, 777, shared),
+                    (0.03, 1000, lone),
+                    (0.05, 65, shared),
+                    (0.02, 2000, shared),
+                ),
+                start=71,
+            )
+        ]
+        results = Executor(ExecutionPolicy(engine="bitplane")).run(specs)
+        for spec, result in zip(specs, results):
+            runner = NoisyRunner(spec.noise, spec.seed, engine="bitplane")
+            run = runner.run_from_input(
+                spec.circuit, spec.input_bits, spec.trials
+            )
+            assert result.failures == spec.observable.count_failures(
+                run.states
+            )
+
     def test_decode_observable_on_stacked_windows(self):
         # The packed decode path must read each point's plane window
         # correctly (views are non-contiguous slices of the big array).

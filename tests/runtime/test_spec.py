@@ -82,6 +82,61 @@ class TestObservables:
         assert DecodeObservable(Decoder(), (1,)).count_failures(None) == 7
 
 
+def stacked_decode_fixture(trials_per_window):
+    """A stacked plane array of noisy copies of one logical codeword."""
+    from repro.coding.logical import LogicalProcessor
+    from repro.core.bitplane import BitplaneState, words_for
+
+    processor = LogicalProcessor(1, include_resets=True)
+    rng = np.random.default_rng(5)
+    windows = []
+    offset = 0
+    rows = []
+    for trials in trials_per_window:
+        windows.append((offset, trials))
+        offset += words_for(trials)
+        word = processor.physical_input((1,))
+        block = np.tile(np.asarray(word, dtype=np.uint8), (words_for(trials) * 64, 1))
+        flips = rng.random(block.shape) < 0.2
+        rows.append(block ^ flips)
+    states = BitplaneState.from_rows(np.concatenate(rows))
+    return processor, states, windows
+
+
+class TestStackedDecode:
+    def test_matches_per_window_counts(self):
+        # One decode pass over the whole stacked array must equal a
+        # solo decode of every window view, including non-word-aligned
+        # windows whose padding carries other (noisy) data.
+        from repro.core.bitplane import BitplaneState, words_for
+
+        processor, states, windows = stacked_decode_fixture((130, 64, 77))
+        observable = DecodeObservable(processor, (1,))
+        stacked = observable.count_failures_stacked(states, windows)
+        for (offset, trials), count in zip(windows, stacked):
+            window = BitplaneState(
+                states.planes[:, offset:offset + words_for(trials)], trials
+            )
+            assert observable.count_failures(window) == count
+
+    def test_decoder_without_plane_path_falls_back(self):
+        class RowDecoder:
+            """A decoder with only the generic counting protocol."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def count_decode_failures(self, states, expected):
+                return self.inner.count_decode_failures(states, expected)
+
+        processor, states, windows = stacked_decode_fixture((100, 60))
+        plain = DecodeObservable(RowDecoder(processor), (1,))
+        full = DecodeObservable(processor, (1,))
+        assert plain.count_failures_stacked(states, windows) == (
+            full.count_failures_stacked(states, windows)
+        )
+
+
 class TestExecutionPolicy:
     def test_defaults(self):
         policy = ExecutionPolicy()
