@@ -1,0 +1,16 @@
+"""Bench: peephole optimisation of the redundant recovery cycle.
+
+Runs the registered ``synth-peephole`` experiment: the optimiser must
+remove >= 20% of the fault locations of a deliberately redundant
+concatenated recovery cycle with every rewrite verified by exhaustive
+equivalence, and the stacked Executor must measure the optimised
+cycle's logical error rate as statistically no worse.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_synth_peephole(benchmark, record):
+    result = run_once(benchmark, lambda: run_experiment("synth-peephole"))
+    record(result)

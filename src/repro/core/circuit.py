@@ -279,6 +279,22 @@ class Circuit:
     # Census and structure
     # ------------------------------------------------------------------
 
+    def content_key(self) -> tuple:
+        """The circuit's content identity: wire count + exact op sequence.
+
+        :class:`Operation` and :class:`~repro.core.gate.Gate` are frozen
+        dataclasses, so the key hashes the full gate tables — two
+        circuits built independently but op-for-op identical share one
+        key, while any mutation (appending, remapping, a different
+        reset value) produces a different one.  The name is *not* part
+        of the key: content identity is about behaviour-bearing
+        structure.  This single key drives both the compile cache
+        (:mod:`repro.core.compiled`) and the synthesis identity
+        database (:mod:`repro.synth.database`); there is deliberately
+        no second hashing scheme.
+        """
+        return (self.n_wires, self.ops)
+
     def count_ops(self) -> Counter:
         """Histogram of operation labels (gate names and ``RESET``)."""
         return Counter(op.label for op in self._ops)

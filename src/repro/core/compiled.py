@@ -502,18 +502,6 @@ def fusion_enabled() -> bool:
     return os.environ.get("REPRO_FUSE", "1") != "0"
 
 
-def circuit_cache_key(circuit: Circuit, fuse: bool) -> tuple:
-    """Content key for a circuit: wire count + exact op sequence.
-
-    :class:`~repro.core.circuit.Operation` and
-    :class:`~repro.core.gate.Gate` are frozen dataclasses, so the key
-    hashes the full gate tables — two circuits built independently but
-    op-for-op identical share one cache entry, while any mutation
-    (appending, remapping, a different reset value) misses.
-    """
-    return (circuit.n_wires, fuse, circuit.ops)
-
-
 #: Default entry bound of the process-wide compile cache.  Sweeps and
 #: bisections reuse a handful of circuits; the bound only matters for
 #: long-lived processes streaming many *distinct* circuits (e.g. the
@@ -532,7 +520,11 @@ class CompileCache:
         self.misses = 0
 
     def get(self, circuit: Circuit, fuse: bool) -> CompiledCircuit:
-        key = circuit_cache_key(circuit, fuse)
+        # The public content key plus the fusion flag: two circuits
+        # built independently but op-for-op identical share one cache
+        # entry, while any mutation misses; fused and unfused programs
+        # are distinct entries.
+        key = (circuit.content_key(), fuse)
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1

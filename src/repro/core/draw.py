@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.circuit import Circuit, Operation
+from repro.errors import CircuitError
 
 _WIRE = "─"
 _GAP = " "
@@ -64,7 +65,7 @@ def draw(circuit: Circuit, labels: Sequence[str] | None = None) -> str:
     if labels is None:
         labels = [f"q{i}" for i in range(circuit.n_wires)]
     if len(labels) != circuit.n_wires:
-        raise ValueError(
+        raise CircuitError(
             f"got {len(labels)} labels for {circuit.n_wires} wires"
         )
 

@@ -34,3 +34,7 @@ class LocalityError(ReproError):
 
 class AnalysisError(ReproError):
     """An analytic computation received parameters outside its domain."""
+
+
+class SynthesisError(ReproError):
+    """A circuit-synthesis request is malformed or unsatisfiable."""

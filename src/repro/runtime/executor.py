@@ -93,15 +93,20 @@ def resolve_workers(parallel: int | bool | None, points: int) -> int:
 def _group_key(spec: RunSpec, policy: ExecutionPolicy) -> tuple:
     """Specs with equal keys share one compiled program and one batch.
 
-    Circuits are grouped by object identity, not content: hashing a
-    full op sequence per spec costs more than it saves, and specs built
-    for one sweep share the circuit object anyway.  Content-equal
-    circuits in distinct objects still share one *compiled* program
-    through the compile cache — they just run as separate batches.
+    Circuits are grouped by the public
+    :meth:`~repro.core.circuit.Circuit.content_key` — the compile
+    cache's own notion of identity — so content-equal circuits in
+    distinct objects (a synthesised or peephole-optimised circuit next
+    to its hand-written reference, a circuit rebuilt by a spec factory)
+    batch into one stacked plane array instead of merely sharing a
+    compiled program across separate batches.  Hashing the op sequence
+    is cheap next to even one spec's simulation, and batching never
+    changes a point's numbers (the executor's bit-identity guarantee),
+    so wider grouping is pure upside.
     """
     return (
         resolve_engine(policy.engine, spec.trials),
-        id(spec.circuit),
+        spec.circuit.content_key(),
         spec.input_bits,
     )
 

@@ -1,0 +1,242 @@
+"""What to synthesise, and what a candidate circuit costs.
+
+A :class:`SynthesisTarget` is the *specification* half of a synthesis
+problem: the permutation a circuit must implement, given either fully
+(a :class:`~repro.core.permutation.Permutation`, a gate, a reference
+circuit, or explicit truth-table rows) or partially — inputs marked as
+*don't cares* leave their outputs unconstrained, which is how
+ancilla-bearing constructions are specified (the paper's MAJ⁻¹ fan-out
+only ever sees ancillas at 0, so the other inputs need no prescribed
+image).
+
+A :class:`CostModel` is the *objective* half.  It scores circuits by
+gate count, depth, and the fault-location census per error class —
+exactly the census the threshold accounting uses
+(:func:`~repro.coding.concatenation.gamma_census`: every gate op is one
+gate-class fault location, every reset op one reset-class location, the
+``G`` of the paper's ``rho = 1/(3 C(G,2))``).  With the default weights
+the cost of a reset-free circuit is simply its gate count, so minimal
+cost coincides with the synthesis literature's minimal gate count; the
+fault-aware weights let the peephole optimiser trade towards fewer
+fault locations of a specific error class instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coding.concatenation import gamma_census
+from repro.core.bits import bits_to_index, parse_bits
+from repro.core.circuit import Circuit
+from repro.core.gate import Gate
+from repro.core.permutation import Permutation
+from repro.core.truth_table import circuit_permutation
+from repro.errors import SynthesisError
+
+#: Largest wire count synthesis targets accept: exhaustive search over
+#: permutations of 2**n patterns is the whole point of this layer, and
+#: beyond this the frontiers stop fitting in memory anyway.
+MAX_TARGET_WIRES = 6
+
+
+@dataclass(frozen=True)
+class SynthesisTarget:
+    """A (possibly partial) permutation a synthesised circuit must match.
+
+    ``outputs[i]`` is the required image of the packed input pattern
+    ``i`` (wire 0 most significant, the library-wide convention), or
+    ``None`` when input ``i`` is a don't-care pattern.  Specified
+    outputs must be pairwise distinct so at least one completion into a
+    full permutation exists.
+    """
+
+    n_wires: int
+    outputs: tuple[int | None, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+        if not 1 <= self.n_wires <= MAX_TARGET_WIRES:
+            raise SynthesisError(
+                f"target needs 1..{MAX_TARGET_WIRES} wires, got {self.n_wires}"
+            )
+        size = 1 << self.n_wires
+        if len(self.outputs) != size:
+            raise SynthesisError(
+                f"target on {self.n_wires} wires needs {size} outputs, "
+                f"got {len(self.outputs)}"
+            )
+        specified = [image for image in self.outputs if image is not None]
+        for image in specified:
+            if not isinstance(image, int) or not 0 <= image < size:
+                raise SynthesisError(
+                    f"target output {image!r} outside range({size})"
+                )
+        if len(set(specified)) != len(specified):
+            raise SynthesisError(
+                "target repeats an output image; no permutation can match"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_permutation(
+        permutation: Permutation, name: str = ""
+    ) -> "SynthesisTarget":
+        """A fully specified target from a permutation of ``2**n``."""
+        size = permutation.size
+        n_wires = size.bit_length() - 1
+        if 1 << n_wires != size:
+            raise SynthesisError(
+                f"permutation size {size} is not a power of two"
+            )
+        return SynthesisTarget(
+            n_wires=n_wires, outputs=permutation.mapping, name=name
+        )
+
+    @staticmethod
+    def from_gate(gate: Gate) -> "SynthesisTarget":
+        """The target "implement this gate"."""
+        return SynthesisTarget(
+            n_wires=gate.arity, outputs=gate.table, name=gate.name
+        )
+
+    @staticmethod
+    def from_circuit(circuit: Circuit) -> "SynthesisTarget":
+        """The target "match this reference circuit's action"."""
+        return SynthesisTarget.from_permutation(
+            circuit_permutation(circuit), name=circuit.name
+        )
+
+    @staticmethod
+    def from_truth_table(
+        rows: dict[str, str] | list[tuple[str, str]],
+        n_wires: int,
+        name: str = "",
+    ) -> "SynthesisTarget":
+        """A target from ``input -> output`` bit-string rows.
+
+        Inputs absent from ``rows`` become don't-care patterns, which is
+        the natural way to write ancilla-bearing specifications::
+
+            SynthesisTarget.from_truth_table(
+                {"000": "000", "100": "111"}, n_wires=3
+            )
+        """
+        pairs = rows.items() if isinstance(rows, dict) else rows
+        outputs: list[int | None] = [None] * (1 << n_wires)
+        for input_bits, output_bits in pairs:
+            index = bits_to_index(parse_bits(input_bits))
+            if len(input_bits) != n_wires or len(output_bits) != n_wires:
+                raise SynthesisError(
+                    f"truth-table row {input_bits!r} -> {output_bits!r} "
+                    f"does not match {n_wires} wires"
+                )
+            if outputs[index] is not None:
+                raise SynthesisError(
+                    f"truth-table row for input {input_bits!r} given twice"
+                )
+            outputs[index] = bits_to_index(parse_bits(output_bits))
+        return SynthesisTarget(n_wires=n_wires, outputs=tuple(outputs), name=name)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fully_specified(self) -> bool:
+        """True when no input pattern is a don't care."""
+        return all(image is not None for image in self.outputs)
+
+    @property
+    def dont_care_inputs(self) -> tuple[int, ...]:
+        """Packed input patterns whose outputs are unconstrained."""
+        return tuple(
+            index for index, image in enumerate(self.outputs) if image is None
+        )
+
+    def permutation(self) -> Permutation:
+        """The target as a permutation; requires full specification."""
+        if not self.is_fully_specified:
+            raise SynthesisError(
+                f"target has {len(self.dont_care_inputs)} don't-care "
+                "inputs; it is not a single permutation"
+            )
+        return Permutation(self.outputs)  # type: ignore[arg-type]
+
+    def matches(self, mapping: Permutation | tuple[int, ...]) -> bool:
+        """True when ``mapping`` agrees with every specified output."""
+        if isinstance(mapping, Permutation):
+            mapping = mapping.mapping
+        if len(mapping) != len(self.outputs):
+            raise SynthesisError(
+                f"candidate acts on {len(mapping)} patterns, target on "
+                f"{len(self.outputs)}"
+            )
+        return all(
+            image is None or image == candidate
+            for image, candidate in zip(self.outputs, mapping)
+        )
+
+    def matches_circuit(self, circuit: Circuit) -> bool:
+        """Exhaustive check of a candidate circuit against the target."""
+        if circuit.n_wires != self.n_wires:
+            return False
+        return self.matches(circuit_permutation(circuit))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        holes = len(self.dont_care_inputs)
+        qualifier = f", {holes} don't cares" if holes else ""
+        return f"SynthesisTarget({self.n_wires} wires{label}{qualifier})"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Scores circuits by gate count, depth, and fault locations.
+
+    ``cost`` is a weighted sum over the op census: every gate op is one
+    gate-class fault location and every reset op one reset-class
+    location (the same per-error-class census the threshold accounting
+    bills — a failing op randomises the wires it touches, regardless of
+    which gate it is), plus ``depth_weight`` per layer of ASAP depth.
+    The defaults make cost equal to total op count, so "minimal cost"
+    is the literature's "minimal gate count" for reset-free synthesis.
+    """
+
+    gate_location_weight: float = 1.0
+    reset_location_weight: float = 1.0
+    depth_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label in ("gate_location_weight", "reset_location_weight", "depth_weight"):
+            if getattr(self, label) < 0:
+                raise SynthesisError(
+                    f"{label} must be >= 0, got {getattr(self, label)}"
+                )
+
+    def fault_locations(self, circuit: Circuit) -> dict[str, int]:
+        """The per-error-class fault-location census of ``circuit``.
+
+        Same counting as the threshold accounting's
+        :func:`~repro.coding.concatenation.gamma_census` — one location
+        per operation, split by the error rate class it draws.
+        """
+        return gamma_census(circuit)
+
+    def cost(self, circuit: Circuit) -> float:
+        """The circuit's score; lower is better."""
+        census = self.fault_locations(circuit)
+        total = (
+            self.gate_location_weight * census["gates"]
+            + self.reset_location_weight * census["resets"]
+        )
+        if self.depth_weight:
+            total += self.depth_weight * circuit.depth()
+        return total
+
+
+#: The default objective: cost == op count == total fault locations.
+DEFAULT_COST_MODEL = CostModel()

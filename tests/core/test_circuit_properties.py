@@ -66,6 +66,17 @@ class TestCompositionLaws:
             circuit
         )
 
+    @given(circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_double_inverse_round_trips_structurally(self, circuit):
+        """inverse().inverse() restores the exact op sequence.
+
+        Stronger than action equality: the synthesis optimiser relies
+        on double inversion being the identity on circuit *content*
+        (same gates, same wires, same order), not merely on behaviour.
+        """
+        assert circuit.inverse().inverse().ops == circuit.ops
+
 
 class TestRemapLaws:
     @given(circuits(), st.permutations(list(range(4))), st.integers(0, 15))
@@ -85,6 +96,49 @@ class TestRemapLaws:
         original = run(circuit, input_bits)
         for old, new in enumerate(wire_map):
             assert direct[new] == original[old]
+
+
+class TestTruthTablePreservation:
+    @given(circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_identity_remap_preserves_truth_table(self, circuit):
+        from repro.core.truth_table import truth_table_rows
+
+        remapped = circuit.remap(list(range(4)), n_wires=4)
+        assert truth_table_rows(remapped) == truth_table_rows(circuit)
+
+    @given(circuits(), st.permutations(list(range(4))))
+    @settings(max_examples=30, deadline=None)
+    def test_remap_round_trip_preserves_truth_table(self, circuit, wire_map):
+        """Remapping out and back restores content and truth table."""
+        from repro.core.truth_table import truth_table_rows
+
+        inverse_map = [0] * 4
+        for old, new in enumerate(wire_map):
+            inverse_map[new] = old
+        round_tripped = circuit.remap(list(wire_map), 4).remap(inverse_map, 4)
+        assert round_tripped.ops == circuit.ops
+        assert truth_table_rows(round_tripped) == truth_table_rows(circuit)
+
+    @given(circuits(n_wires=3, max_ops=5), circuits(n_wires=3, max_ops=5))
+    @settings(max_examples=20, deadline=None)
+    def test_tensor_preserves_each_factor_truth_table(self, top, bottom):
+        """Each tensor factor keeps its truth table on its own wires."""
+        from repro.core.bits import bits_to_index, index_to_bits
+        from repro.core.truth_table import circuit_permutation
+
+        combined = circuit_permutation(top.tensor(bottom))
+        top_rows = circuit_permutation(top)
+        bottom_rows = circuit_permutation(bottom)
+        for packed in range(64):
+            bits = index_to_bits(packed, 6)
+            image = index_to_bits(combined.mapping[packed], 6)
+            assert bits_to_index(image[:3]) == top_rows.mapping[
+                bits_to_index(bits[:3])
+            ]
+            assert bits_to_index(image[3:]) == bottom_rows.mapping[
+                bits_to_index(bits[3:])
+            ]
 
 
 class TestTensorLaws:

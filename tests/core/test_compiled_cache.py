@@ -25,6 +25,28 @@ def build_circuit() -> Circuit:
     return Circuit(4).cnot(0, 1).toffoli(1, 2, 3).append_reset(2, value=1)
 
 
+class TestContentKey:
+    """The public content key the cache (and the synth database) share."""
+
+    def test_rebuilt_circuit_shares_key(self):
+        assert build_circuit().content_key() == build_circuit().content_key()
+
+    def test_name_is_not_content(self):
+        assert (
+            build_circuit().copy(name="renamed").content_key()
+            == build_circuit().content_key()
+        )
+
+    def test_mutation_changes_key(self):
+        circuit = build_circuit()
+        key = circuit.content_key()
+        circuit.x(0)
+        assert circuit.content_key() != key
+
+    def test_key_is_hashable(self):
+        assert {build_circuit().content_key(): 1}[build_circuit().content_key()] == 1
+
+
 class TestKeying:
     def test_identical_content_hits(self):
         first = compile_circuit(build_circuit())

@@ -7,6 +7,7 @@ import pytest
 from repro.coding import recovery_circuit
 from repro.core.circuit import Circuit
 from repro.core.draw import draw
+from repro.errors import CircuitError, ReproError
 
 
 class TestDraw:
@@ -27,8 +28,13 @@ class TestDraw:
         assert "×" in art
 
     def test_label_count_validated(self):
-        with pytest.raises(ValueError):
+        # Regression: draw() used to leak a bare ValueError here; the
+        # core layer's contract is CircuitError (under ReproError, so
+        # callers can catch library failures uniformly).
+        with pytest.raises(CircuitError, match="1 labels for 2 wires"):
             draw(Circuit(2), labels=["only-one"])
+        with pytest.raises(ReproError):
+            draw(Circuit(2), labels=["a", "b", "c"])
 
     def test_named_gate_box(self):
         art = draw(Circuit(3).maj(0, 1, 2))

@@ -33,6 +33,7 @@ EXPECTED_IDS = {
     "nand-cost",
     "baseline",
     "mc-threshold",
+    "synth-peephole",
 }
 
 

@@ -248,6 +248,55 @@ class TestStackedBatchingBitIdentity:
             )
 
 
+class TestContentGrouping:
+    """Grouping keys on circuit content, not object identity."""
+
+    def test_content_equal_circuits_share_a_group(self):
+        from repro.runtime.executor import _group_key
+
+        policy = ExecutionPolicy(engine="bitplane")
+        left = recovery_spec(0.01, 1, 1000)
+        right = recovery_spec(0.02, 2, 1000)
+        assert left.circuit is not right.circuit
+        assert _group_key(left, policy) == _group_key(right, policy)
+
+    def test_synthesised_twin_is_bit_identical_to_its_reference(self):
+        # A circuit rebuilt op for op (the synthesis/peephole output
+        # case) joins the reference's stacked group and, with the same
+        # seed, must reproduce its numbers exactly.
+        twin = recovery_circuit().copy(name="optimised-EL")
+        specs = [
+            recovery_spec(0.02, seed=5, trials=1234),
+            RunSpec(
+                circuit=twin,
+                input_bits=(1, 1, 1) + (0,) * 6,
+                observable=REPETITION_PREDICATE,
+                noise=NoiseModel(gate_error=0.02),
+                trials=1234,
+                seed=5,
+            ),
+        ]
+        reference, synthesised = Executor(
+            ExecutionPolicy(engine="bitplane")
+        ).run(specs)
+        assert reference == synthesised
+
+    def test_different_content_keeps_separate_groups(self):
+        from repro.runtime.executor import _group_key
+
+        policy = ExecutionPolicy(engine="bitplane")
+        base = recovery_spec(0.01, 1, 1000)
+        other = RunSpec(
+            circuit=recovery_circuit(include_resets=False),
+            input_bits=(1, 1, 1) + (0,) * 6,
+            observable=REPETITION_PREDICATE,
+            noise=NoiseModel(gate_error=0.01),
+            trials=1000,
+            seed=1,
+        )
+        assert _group_key(base, policy) != _group_key(other, policy)
+
+
 class TestPoolAcrossGroups:
     def test_parallel_groups_equal_serial(self):
         specs = [

@@ -1,0 +1,268 @@
+"""The identity database: keying, mining, persistence, verification."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import library
+from repro.core.circuit import Circuit
+from repro.core.gate import Gate
+from repro.core.permutation import Permutation
+from repro.errors import SynthesisError
+from repro.synth import (
+    CostModel,
+    IdentityDatabase,
+    circuit_from_json,
+    circuit_to_json,
+    content_digest,
+)
+
+
+def fig1_circuit() -> Circuit:
+    return Circuit(3).cnot(0, 1).cnot(0, 2).toffoli(1, 2, 0)
+
+
+class TestContentDigest:
+    def test_rebuilt_circuit_shares_digest(self):
+        assert content_digest(fig1_circuit()) == content_digest(fig1_circuit())
+
+    def test_mutation_changes_digest(self):
+        mutated = fig1_circuit().x(0)
+        assert content_digest(mutated) != content_digest(fig1_circuit())
+
+    def test_name_is_not_content(self):
+        named = fig1_circuit().copy(name="fig1")
+        assert content_digest(named) == content_digest(fig1_circuit())
+
+    def test_same_name_different_table_gates_do_not_collide(self):
+        # Regression: Gate.__repr__ elides the permutation table, so a
+        # repr-based digest would collide these two content-distinct
+        # circuits (and the database would silently drop the second).
+        impostor = library.SWAP.renamed("X2")
+        honest = Gate.from_permutation("X2", Permutation((3, 2, 1, 0)))
+        left = Circuit(2).append_gate(impostor, 0, 1)
+        right = Circuit(2).append_gate(honest, 0, 1)
+        assert left.content_key() != right.content_key()
+        assert content_digest(left) != content_digest(right)
+        database = IdentityDatabase(2)
+        assert database.add(left)
+        assert database.add(right)
+        assert database.n_circuits == 2
+
+
+class TestSerialisation:
+    def test_round_trip_library_gates(self):
+        circuit = fig1_circuit().append_reset(1, value=1)
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        assert rebuilt.ops == circuit.ops
+        assert rebuilt.n_wires == circuit.n_wires
+
+    def test_round_trip_custom_gate_inlines_table(self):
+        rotated = Gate.from_permutation(
+            "ROT4", Permutation((1, 2, 3, 0))
+        )
+        circuit = Circuit(2).append_gate(rotated, 0, 1)
+        record = circuit_to_json(circuit)
+        assert record["ops"][0]["table"] == [1, 2, 3, 0]
+        assert circuit_from_json(record).ops == circuit.ops
+
+    def test_renamed_library_gate_keeps_its_action(self):
+        # A gate that *shadows* a library name with a different action
+        # must serialise its table, not just the name.
+        impostor = library.SWAP.renamed("CNOT")
+        record = circuit_to_json(Circuit(2).append_gate(impostor, 0, 1))
+        assert "table" in record["ops"][0]
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(SynthesisError, match="malformed"):
+            circuit_from_json({"n_wires": 2})
+
+
+class TestAddAndQuery:
+    def test_add_dedupes_by_digest(self):
+        database = IdentityDatabase(3)
+        assert database.add(fig1_circuit())
+        assert not database.add(fig1_circuit())
+        assert database.n_circuits == 1
+
+    def test_add_rejects_wrong_width(self):
+        database = IdentityDatabase(2)
+        with pytest.raises(SynthesisError, match="2-wire"):
+            database.add(fig1_circuit())
+
+    def test_best_prefers_cheapest(self):
+        database = IdentityDatabase(3)
+        database.add(fig1_circuit())
+        database.add(Circuit(3).maj(0, 1, 2))
+        best = database.best(library.MAJ.permutation)
+        assert best is not None and len(best) == 1
+
+    def test_best_identity_is_empty_without_mining(self):
+        database = IdentityDatabase(2)
+        best = database.best(tuple(range(4)))
+        assert best is not None and len(best) == 0
+
+    def test_best_unknown_action_is_none(self):
+        database = IdentityDatabase(2)
+        assert database.best(library.SWAP.table) is None
+
+    def test_best_validates_action_size(self):
+        with pytest.raises(SynthesisError, match="does not fit"):
+            IdentityDatabase(2).best((0, 1))
+
+    def test_best_ranks_equivalent_members_by_cost(self):
+        database = IdentityDatabase(2)
+        lean = Circuit(2).x(0).cnot(0, 1).x(0)
+        padded = Circuit(2).x(0).cnot(0, 1).x(0).x(1).x(1)
+        from repro.core.truth_table import circuit_permutation
+
+        assert circuit_permutation(padded) == circuit_permutation(lean)
+        database.add(padded)
+        database.add(lean)
+        best = database.best(circuit_permutation(lean))
+        assert best is not None and len(best) == 3
+        # With gate locations free, the tie breaks deterministically by
+        # digest rather than by insertion order.
+        free = CostModel(gate_location_weight=0.0)
+        tied = database.best(circuit_permutation(lean), cost_model=free)
+        assert tied is not None
+        assert content_digest(tied) == min(
+            content_digest(lean), content_digest(padded)
+        )
+
+
+class TestMining:
+    def test_mine_populates_figure_1_class(self):
+        database = IdentityDatabase(3)
+        added = database.mine(
+            (library.CNOT, library.TOFFOLI, library.MAJ), max_gates=3
+        )
+        assert added == database.n_circuits > 100
+        members = database.classes[library.MAJ.table]
+        lengths = sorted(len(member) for member in members.values())
+        # The class holds the 1-gate MAJ and 3-gate Figure-1 members.
+        assert lengths[0] == 1 and 3 in lengths
+        best = database.best(library.MAJ.permutation)
+        assert best is not None and len(best) == 1
+
+    def test_mine_caps_members_per_class(self):
+        database = IdentityDatabase(2)
+        database.mine((library.X, library.CNOT), max_gates=4, keep=2)
+        assert all(
+            len(members) <= 2 for members in database.classes.values()
+        )
+
+    def test_mine_keep_validated(self):
+        with pytest.raises(SynthesisError, match="keep"):
+            IdentityDatabase(2).mine((library.X,), max_gates=1, keep=0)
+
+    def test_identities_lists_identity_class(self):
+        database = IdentityDatabase(2)
+        # X(0) X(0) is pruned as an adjacent inverse pair, but the
+        # four-op X0 X1 X0 X1 ... canonical identities need depth 4;
+        # CNOT conjugations appear at depth 3+.  Mine deep enough.
+        database.mine((library.X, library.CNOT), max_gates=4)
+        identities = database.identities()
+        assert identities
+        from repro.core.truth_table import circuit_permutation
+
+        assert all(
+            circuit_permutation(circuit).is_identity()
+            for circuit in identities
+        )
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        database = IdentityDatabase(3)
+        database.mine((library.CNOT, library.MAJ), max_gates=2)
+        path = database.save(tmp_path / "identities.json")
+        loaded = IdentityDatabase.load(path)
+        assert loaded.n_wires == 3
+        assert set(loaded.classes) == set(database.classes)
+        assert loaded.n_circuits == database.n_circuits
+
+    def test_load_verifies_members_by_exhaustion(self, tmp_path):
+        database = IdentityDatabase(2)
+        database.add(Circuit(2).swap(0, 1))
+        path = database.save(tmp_path / "identities.json")
+        payload = json.loads(path.read_text())
+        # Tamper: claim the SWAP member implements the identity.
+        payload["classes"][0]["mapping"] = [0, 1, 2, 3]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SynthesisError, match="corrupt"):
+            IdentityDatabase.load(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "identities.json"
+        path.write_text(json.dumps({"version": 99, "n_wires": 2}))
+        with pytest.raises(SynthesisError, match="version"):
+            IdentityDatabase.load(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "identities.json"
+        path.write_text("not json")
+        with pytest.raises(SynthesisError, match="cannot read"):
+            IdentityDatabase.load(path)
+
+    def test_load_or_mine_mines_once_then_loads(self, tmp_path):
+        path = tmp_path / "identities.json"
+        mined = IdentityDatabase.load_or_mine(
+            path, 2, (library.X, library.CNOT), max_gates=2
+        )
+        assert path.exists()
+        written = path.read_text()
+        loaded = IdentityDatabase.load_or_mine(
+            path, 2, (library.X, library.CNOT), max_gates=2
+        )
+        assert loaded.n_circuits == mined.n_circuits
+        assert path.read_text() == written  # second call did not remine
+
+    def test_load_or_mine_remines_when_parameters_change(self, tmp_path):
+        path = tmp_path / "identities.json"
+        shallow = IdentityDatabase.load_or_mine(
+            path, 2, (library.X, library.CNOT), max_gates=1
+        )
+        deeper = IdentityDatabase.load_or_mine(
+            path, 2, (library.X, library.CNOT), max_gates=2
+        )
+        assert deeper.n_circuits > shallow.n_circuits
+        assert deeper.metadata["mined"]["max_gates"] == 2
+        # The rewritten file now answers the deeper request directly.
+        again = IdentityDatabase.load_or_mine(
+            path, 2, (library.X, library.CNOT), max_gates=2
+        )
+        assert again.n_circuits == deeper.n_circuits
+
+    def test_mine_skip_heuristic_sound_for_subunit_weights(self):
+        # Regression: with gate locations cheap, a later shorter member
+        # must not be skipped just because the kept member's *cost* is
+        # below the candidate's gate count.
+        cheap = CostModel(gate_location_weight=0.1)
+        database = IdentityDatabase(2)
+        padded = Circuit(2).cnot(0, 1).x(0).x(0).cnot(0, 1).cnot(0, 1)
+        database.add(padded)  # 5 gates, cost 0.5, same action as CNOT(0,1)
+        database.mine((library.CNOT,), max_gates=1, keep=1, cost_model=cheap)
+        best = database.best(library.CNOT.table, cost_model=cheap)
+        assert best is not None and len(best) == 1
+
+    def test_load_or_mine_rejects_width_mismatch(self, tmp_path):
+        path = tmp_path / "identities.json"
+        IdentityDatabase.load_or_mine(path, 2, (library.X,), max_gates=1)
+        with pytest.raises(SynthesisError, match="expected 3"):
+            IdentityDatabase.load_or_mine(path, 3, (library.X,), max_gates=1)
+
+    def test_committed_experiment_database_verifies(self):
+        # The repository ships the synth-peephole rewrite database;
+        # loading re-verifies every member by exhaustion, so this test
+        # keeps the committed JSON honest.
+        from repro.synth.database import DEFAULT_DATABASE_DIR
+
+        path = DEFAULT_DATABASE_DIR / "synth_identities.json"
+        if not path.exists():
+            pytest.skip("persisted database not generated yet")
+        database = IdentityDatabase.load(path)
+        assert database.n_wires == 3
+        assert database.best(library.MAJ.permutation) is not None

@@ -1,0 +1,219 @@
+"""The meet-in-the-middle searcher: minimality, pruning soundness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import library
+from repro.core.circuit import Circuit
+from repro.core.truth_table import circuit_gate, circuit_permutation
+from repro.errors import SynthesisError
+from repro.synth import (
+    SynthesisTarget,
+    CostModel,
+    enumerate_canonical,
+    find_optimal,
+    op_permutation,
+    placed_library,
+    search_depth_budget,
+)
+
+
+class TestPlacedLibrary:
+    def test_symmetric_placements_deduplicate(self):
+        # SWAP(0,1) and SWAP(1,0) are one action; on 2 wires the SWAP
+        # library is a single op.
+        ops = placed_library((library.SWAP,), 2)
+        assert len(ops) == 1
+        assert ops[0].wires == (0, 1)
+
+    def test_identity_actions_dropped(self):
+        ops = placed_library((library.IDENTITY1, library.X), 2)
+        assert {op.gate.name for op in ops} == {"X"}
+
+    def test_inverse_indices(self):
+        ops = placed_library((library.SWAP3_UP, library.SWAP3_DOWN), 3)
+        assert len(ops) == 2
+        assert ops[0].inverse_index == 1
+        assert ops[1].inverse_index == 0
+
+    def test_op_permutation_matches_simulator(self):
+        for wires in ((0, 2, 1), (2, 0, 3)):
+            mapping = op_permutation(library.MAJ, wires, 4)
+            reference = circuit_permutation(
+                Circuit(4).append_gate(library.MAJ, *wires)
+            )
+            assert mapping == reference.mapping
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(SynthesisError, match="at least one gate"):
+            placed_library((), 2)
+
+    def test_too_narrow_library_rejected(self):
+        with pytest.raises(SynthesisError, match="fits"):
+            placed_library((library.TOFFOLI,), 2)
+
+
+class TestPaperConstructions:
+    def test_rediscovers_figure_1_maj(self):
+        result = find_optimal(
+            library.MAJ, (library.CNOT, library.TOFFOLI), max_gates=4
+        )
+        assert result.gate_count == 3
+        assert result.circuit.count_ops() == {"CNOT": 2, "TOFFOLI": 1}
+        assert circuit_gate(result.circuit, "check").same_action(library.MAJ)
+        # The canonical minimum IS the paper's construction, op for op.
+        assert [(op.label, op.wires) for op in result.circuit] == [
+            ("CNOT", (0, 1)),
+            ("CNOT", (0, 2)),
+            ("TOFFOLI", (1, 2, 0)),
+        ]
+
+    def test_rediscovers_figure_5_swap3(self):
+        for rotation in (library.SWAP3_UP, library.SWAP3_DOWN):
+            result = find_optimal(rotation, (library.SWAP,), max_gates=4)
+            assert result.gate_count == 2
+            assert result.circuit.count_ops() == {"SWAP": 2}
+            assert circuit_gate(result.circuit, "check").same_action(rotation)
+
+    def test_swap_from_cnots_is_three(self):
+        result = find_optimal(library.SWAP, (library.CNOT,), max_gates=4)
+        assert result.gate_count == 3
+
+
+class TestMinimality:
+    def test_identity_needs_zero_gates(self):
+        result = find_optimal(
+            Circuit(2).cnot(0, 1).cnot(0, 1), (library.CNOT,), max_gates=3
+        )
+        assert result.gate_count == 0
+        assert result.cost == 0.0
+
+    def test_single_gate_target(self):
+        result = find_optimal(library.CNOT, (library.CNOT,), max_gates=3)
+        assert result.gate_count == 1
+
+    def test_unreachable_target_raises(self):
+        # CNOTs are linear over GF(2); Toffoli is not.
+        with pytest.raises(SynthesisError, match="no circuit of <= 3 gates"):
+            find_optimal(library.TOFFOLI, (library.CNOT,), max_gates=3)
+
+    def test_negative_max_gates_rejected(self):
+        with pytest.raises(SynthesisError, match="max_gates"):
+            find_optimal(library.X, (library.X,), max_gates=-1)
+
+    def test_pruned_search_matches_unpruned_bfs_depths(self):
+        """Differential: canonical-order pruning loses no minimal depth."""
+        gates = (library.X, library.CNOT, library.SWAP, library.TOFFOLI)
+        ops = placed_library(gates, 3)
+        rng = np.random.default_rng(20260726)
+        for _ in range(12):
+            sequence = rng.integers(0, len(ops), size=rng.integers(1, 5))
+            circuit = Circuit(3)
+            for index in sequence:
+                circuit.append_gate(ops[index].gate, *ops[index].wires)
+            target_mapping = circuit_permutation(circuit).mapping
+            # Unpruned reference BFS over actions.
+            frontier = {tuple(range(8))}
+            reference_depth = 0
+            while target_mapping not in frontier:
+                frontier = {
+                    tuple(op.mapping[image] for image in mapping)
+                    for mapping in frontier
+                    for op in ops
+                }
+                reference_depth += 1
+            result = find_optimal(
+                SynthesisTarget(3, target_mapping), gates, max_gates=5
+            )
+            assert result.gate_count == reference_depth
+            assert circuit_permutation(result.circuit).mapping == target_mapping
+
+
+class TestDontCareSearch:
+    def test_partial_toffoli_spec(self):
+        # Specify only the ancilla-clean inputs (wire 2 = 0): the AND
+        # of wires 0,1 lands on wire 2.  Toffoli satisfies it in one.
+        rows = {
+            "000": "000",
+            "010": "010",
+            "100": "100",
+            "110": "111",
+        }
+        target = SynthesisTarget.from_truth_table(rows, n_wires=3, name="and")
+        result = find_optimal(
+            target, (library.CNOT, library.TOFFOLI), max_gates=3
+        )
+        assert result.gate_count == 1
+        assert result.circuit.ops[0].label == "TOFFOLI"
+        assert target.matches_circuit(result.circuit)
+
+    def test_forward_search_on_partial_spec(self):
+        # Inputs with wire 0 set are don't cares; the forward search
+        # still proves the empty circuit fails (wire 1 must flip) and
+        # finds the single-X solution at depth 1.
+        target = SynthesisTarget.from_truth_table(
+            {"00": "01", "01": "00"}, n_wires=2
+        )
+        result = find_optimal(target, (library.X, library.CNOT), max_gates=2)
+        assert result.gate_count == 1
+        assert target.matches_circuit(result.circuit)
+
+
+class TestCostModelSelection:
+    def test_depth_weight_breaks_gate_count_ties(self):
+        # Two X gates on distinct wires: any order has 2 gates, depth 1;
+        # the cost model is exercised across the tied candidates.
+        target = SynthesisTarget.from_circuit(Circuit(2).x(0).x(1))
+        result = find_optimal(
+            target,
+            (library.X,),
+            max_gates=3,
+            cost_model=CostModel(depth_weight=0.25),
+        )
+        assert result.gate_count == 2
+        assert result.cost == 2 + 0.25 * 1
+
+
+class TestEnumerateCanonical:
+    def test_inverse_pairs_pruned(self):
+        ops = placed_library((library.SWAP,), 2)
+        sequences = [seq for seq, _ in enumerate_canonical(ops, 2)]
+        # SWAP is self-inverse: the doubled sequence is pruned.
+        assert sequences == [(0,)]
+
+    def test_commuting_order_pruned(self):
+        ops = placed_library((library.X,), 2)  # X(0)=op0, X(1)=op1, disjoint
+        sequences = [seq for seq, _ in enumerate_canonical(ops, 2)]
+        assert (1, 0) not in sequences
+        assert (0, 1) in sequences
+
+    def test_actions_are_exact(self):
+        ops = placed_library((library.CNOT, library.X), 2)
+        for sequence, mapping in enumerate_canonical(ops, 3):
+            circuit = Circuit(2)
+            for index in sequence:
+                circuit.append_gate(ops[index].gate, *ops[index].wires)
+            assert circuit_permutation(circuit).mapping == mapping
+
+
+class TestDepthBudget:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYNTH_DEPTH", "3")
+        assert search_depth_budget(8) == 3
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SYNTH_DEPTH", raising=False)
+        assert search_depth_budget(5) == 5
+
+    def test_invalid_budget_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYNTH_DEPTH", "0")
+        with pytest.raises(SynthesisError, match="REPRO_SYNTH_DEPTH"):
+            search_depth_budget()
+
+    def test_non_numeric_budget_rejected(self, monkeypatch):
+        # Regression: int('fast') used to leak a bare ValueError.
+        monkeypatch.setenv("REPRO_SYNTH_DEPTH", "fast")
+        with pytest.raises(SynthesisError, match="integer"):
+            search_depth_budget()

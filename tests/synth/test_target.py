@@ -1,0 +1,113 @@
+"""SynthesisTarget construction/matching and CostModel scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding import recovery_circuit
+from repro.core import library
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+from repro.errors import SynthesisError
+from repro.synth import CostModel, DEFAULT_COST_MODEL, SynthesisTarget
+
+
+class TestConstruction:
+    def test_from_gate(self):
+        target = SynthesisTarget.from_gate(library.MAJ)
+        assert target.n_wires == 3
+        assert target.is_fully_specified
+        assert target.permutation() == library.MAJ.permutation
+        assert target.name == "MAJ"
+
+    def test_from_circuit(self):
+        circuit = Circuit(2).cnot(0, 1)
+        target = SynthesisTarget.from_circuit(circuit)
+        assert target.outputs == library.CNOT.table
+
+    def test_from_permutation_requires_power_of_two(self):
+        with pytest.raises(SynthesisError, match="power of two"):
+            SynthesisTarget.from_permutation(Permutation((1, 2, 0)))
+
+    def test_output_count_validated(self):
+        with pytest.raises(SynthesisError, match="needs 8 outputs"):
+            SynthesisTarget(n_wires=3, outputs=(0, 1, 2, 3))
+
+    def test_duplicate_images_rejected(self):
+        with pytest.raises(SynthesisError, match="repeats an output"):
+            SynthesisTarget(n_wires=1, outputs=(1, 1))
+
+    def test_out_of_range_image_rejected(self):
+        with pytest.raises(SynthesisError, match="outside range"):
+            SynthesisTarget(n_wires=1, outputs=(0, 7))
+
+    def test_wire_bound(self):
+        with pytest.raises(SynthesisError, match="wires"):
+            SynthesisTarget(n_wires=7, outputs=tuple(range(128)))
+
+
+class TestDontCares:
+    def test_from_truth_table_marks_missing_rows(self):
+        target = SynthesisTarget.from_truth_table(
+            {"00": "00", "11": "10"}, n_wires=2
+        )
+        assert not target.is_fully_specified
+        assert target.dont_care_inputs == (1, 2)
+        with pytest.raises(SynthesisError, match="don't-care"):
+            target.permutation()
+
+    def test_matches_ignores_dont_cares(self):
+        target = SynthesisTarget(n_wires=1, outputs=(1, None))
+        assert target.matches((1, 0))
+        assert not target.matches((0, 1))
+
+    def test_duplicate_truth_table_row_rejected(self):
+        with pytest.raises(SynthesisError, match="twice"):
+            SynthesisTarget.from_truth_table(
+                [("0", "0"), ("0", "1")], n_wires=1
+            )
+
+    def test_row_width_validated(self):
+        with pytest.raises(SynthesisError, match="does not match"):
+            SynthesisTarget.from_truth_table({"00": "0"}, n_wires=2)
+
+    def test_matches_size_validated(self):
+        target = SynthesisTarget.from_gate(library.X)
+        with pytest.raises(SynthesisError, match="patterns"):
+            target.matches((0, 1, 2, 3))
+
+
+class TestMatchesCircuit:
+    def test_exhaustive_match(self):
+        fig1 = Circuit(3).cnot(0, 1).cnot(0, 2).toffoli(1, 2, 0)
+        assert SynthesisTarget.from_gate(library.MAJ).matches_circuit(fig1)
+        assert not SynthesisTarget.from_gate(library.FREDKIN).matches_circuit(fig1)
+
+    def test_wire_count_mismatch_is_no_match(self):
+        assert not SynthesisTarget.from_gate(library.CNOT).matches_circuit(
+            Circuit(3).cnot(0, 1)
+        )
+
+
+class TestCostModel:
+    def test_default_cost_is_op_count(self):
+        circuit = recovery_circuit()
+        assert DEFAULT_COST_MODEL.cost(circuit) == len(circuit) == 8
+
+    def test_fault_locations_census_matches_threshold_accounting(self):
+        census = DEFAULT_COST_MODEL.fault_locations(recovery_circuit())
+        # Figure 2: two 3-bit resets + three MAJ⁻¹ + three MAJ = E = 8.
+        assert census == {"gates": 6, "resets": 2, "total": 8}
+
+    def test_class_weights_split_the_census(self):
+        model = CostModel(gate_location_weight=2.0, reset_location_weight=0.5)
+        assert model.cost(recovery_circuit()) == 2.0 * 6 + 0.5 * 2
+
+    def test_depth_weight(self):
+        circuit = Circuit(2).x(0).x(1)  # depth 1, 2 gates
+        model = CostModel(depth_weight=10.0)
+        assert model.cost(circuit) == 2 + 10.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SynthesisError, match=">= 0"):
+            CostModel(depth_weight=-1.0)

@@ -10,7 +10,7 @@ def test_report_main_runs_all_experiments(monkeypatch, capsys):
     exit_code = repro.report.main()
     captured = capsys.readouterr().out
     assert exit_code == 0
-    assert "all 15 experiments match the paper" in captured
+    assert "all 16 experiments match the paper" in captured
     # Every experiment id appears in the output.
-    for experiment_id in ("table1", "table2", "fig7", "nand-cost"):
+    for experiment_id in ("table1", "table2", "fig7", "nand-cost", "synth-peephole"):
         assert experiment_id in captured

@@ -21,8 +21,16 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: Deprecated entry points whose spread this audit freezes.
-DEPRECATED = ("estimate_failure_probability", "logical_error_per_cycle")
+#: Deprecated entry points whose spread this audit freezes.  The PR 5
+#: synthesis subsystem promoted the private ``circuit_cache_key``
+#: hashing to the public ``Circuit.content_key()`` (one content-hash
+#: scheme for the compile cache and the synth identity database); the
+#: old name is audited so a second hashing path cannot creep back in.
+DEPRECATED = (
+    "estimate_failure_probability",
+    "logical_error_per_cycle",
+    "circuit_cache_key",
+)
 
 #: Directories scanned for Python sources.
 SCANNED = ("src", "examples", "benchmarks", "tests", "tools")
