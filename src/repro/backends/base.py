@@ -1,0 +1,212 @@
+"""The backend contract: what it takes to execute plane programs.
+
+The compiled schedule of :mod:`repro.core.compiled` is engine-agnostic
+data — tagged plane expressions plus wire matrices.  A *backend* is one
+way of executing that data against a plane store.  This module pins the
+contract down as an abstract base class so the noise layer and the
+stacked executor can be pointed at any implementation:
+
+* :class:`PlaneBackend` — allocate plane states, prepare a compiled
+  circuit into an executable :class:`PreparedProgram`, and perform the
+  state-level primitives the noise layer needs (program application,
+  stacked apply, randomize/scatter, majority/popcount decode).
+* :class:`PreparedProgram` — the per-``CompiledCircuit`` executable: a
+  slot-indexed ``apply_slot`` (the noisy engines interleave fault
+  injection between slots) plus a noiseless ``run`` over the whole
+  schedule.
+
+Both registered backends (:mod:`repro.backends.numpy_backend` and
+:mod:`repro.backends.fused`) operate on the shared
+:class:`~repro.core.bitplane.BitplaneState` uint64 plane store, so the
+allocation and randomize/decode primitives default to delegating
+straight to the state; a future device backend would override them
+alongside :meth:`PlaneBackend.prepare`.
+
+Conformance is behavioural, not structural: every registered backend
+must pass the parametrized suite in ``tests/backends/conformance.py``
+(small-circuit equivalence against the reference simulator, stacked
+vs solo bit-identity, fault-draw bit-identity against the ``numpy``
+backend, decode correctness).  Backends never touch the RNG — faults
+are drawn by the noise layer and scattered through the state — so
+swapping backends can never change a published number.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.bitplane import (
+    BitplaneState,
+    count_trial_ones,
+    popcount_words,
+)
+
+__all__ = ["PlaneBackend", "PreparedProgram"]
+
+
+class PreparedProgram:
+    """One compiled circuit made executable by one backend.
+
+    Preparation happens once per (compiled circuit, backend) pair —
+    backends cache the result on ``compiled.prepared`` — so anything
+    expensive (index tables, generated kernels, scratch planning)
+    belongs in the constructor, never in :meth:`apply_slot`.
+    """
+
+    def __init__(self, compiled):
+        self.compiled = compiled
+
+    def apply_slot(self, state: BitplaneState, index: int) -> None:
+        """Apply fused slot ``index`` of the schedule to ``state``.
+
+        Covers both slot kinds: reset slots assign their constant
+        planes, gate slots evaluate every stacked program group.  The
+        noisy engines call this once per slot and inject the slot's
+        faults in between — the contract is that the state after
+        ``apply_slot`` is bit-identical across backends.
+        """
+        raise NotImplementedError
+
+    def run(self, state: BitplaneState) -> BitplaneState:
+        """Run the whole schedule noiselessly, mutating ``state``."""
+        for index in range(len(self.compiled.slots)):
+            self.apply_slot(state, index)
+        return state
+
+
+class PlaneBackend:
+    """Abstract executor of compiled plane programs.
+
+    Subclasses set :attr:`name` (the registry key) and implement
+    :meth:`_prepare`; the state-level primitives default to the
+    :class:`BitplaneState` implementations shared by the in-tree
+    backends.
+    """
+
+    #: Registry key; also what ``PointResult``-style reporting shows.
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def broadcast(self, input_bits: Sequence[int], trials: int) -> BitplaneState:
+        """All trials start from the same bit vector."""
+        return BitplaneState.broadcast(input_bits, trials)
+
+    def zeros(self, n_wires: int, trials: int) -> BitplaneState:
+        """All trials start from the all-zero state."""
+        return BitplaneState.zeros(n_wires, trials)
+
+    def from_rows(self, rows: Sequence[Sequence[int]]) -> BitplaneState:
+        """One trial per row of explicit bit vectors."""
+        return BitplaneState.from_rows(rows)
+
+    # ------------------------------------------------------------------
+    # Program preparation
+    # ------------------------------------------------------------------
+
+    def prepare_key(self) -> str:
+        """The ``compiled.prepared`` cache key for this backend.
+
+        Defaults to :attr:`name`; backends whose preparation depends on
+        configuration (the fused backend's JIT mode) extend the key so
+        differently configured instances never share an entry.
+        """
+        return self.name
+
+    def prepare(self, compiled) -> PreparedProgram:
+        """The executable form of ``compiled`` under this backend.
+
+        Cached in ``compiled.prepared`` keyed on :meth:`prepare_key`,
+        so a sweep or bisection re-running one circuit prepares it
+        exactly once per process regardless of how many runs consume
+        it.
+        """
+        key = self.prepare_key()
+        prepared = compiled.prepared.get(key)
+        if prepared is None:
+            prepared = self._prepare(compiled)
+            compiled.prepared[key] = prepared
+        return prepared
+
+    def _prepare(self, compiled) -> PreparedProgram:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # State primitives (randomize/scatter, decode) — shared plane store
+    # ------------------------------------------------------------------
+
+    def apply_program(
+        self,
+        state: BitplaneState,
+        program: tuple,
+        wires: Sequence[int],
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Apply one plane program outside the prepared schedule."""
+        state.apply_program(program, wires, mask)
+
+    def apply_program_stacked(
+        self,
+        state: BitplaneState,
+        program: tuple,
+        wire_matrix: np.ndarray,
+        row_slices: tuple = (),
+    ) -> None:
+        """Apply one program to stacked instances outside the schedule."""
+        state.apply_program_stacked(program, wire_matrix, row_slices)
+
+    def reset(
+        self,
+        state: BitplaneState,
+        wires: Sequence[int],
+        value: int = 0,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Reset wires to a constant on all (or masked) trials."""
+        state.reset(wires, value, mask)
+
+    def randomize(
+        self,
+        state: BitplaneState,
+        wires: Sequence[int],
+        rng: np.random.Generator,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Replace wires with uniform random bits (the paper's fault)."""
+        state.randomize(wires, rng, mask)
+
+    def randomize_stacked(
+        self,
+        state: BitplaneState,
+        wire_matrix: np.ndarray,
+        rng: np.random.Generator | None,
+        instance_of: np.ndarray,
+        word_of: np.ndarray,
+        select: np.ndarray,
+        random_words: np.ndarray | None = None,
+    ) -> None:
+        """Scatter one batched fault draw onto stacked gate instances."""
+        state.randomize_stacked(
+            wire_matrix, rng, instance_of, word_of, select, random_words
+        )
+
+    def majority_plane(
+        self, state: BitplaneState, wires: Sequence[int]
+    ) -> np.ndarray:
+        """Packed per-trial majority vote over the selected wires."""
+        return state.majority_plane(wires)
+
+    def popcount(self, words: np.ndarray) -> int:
+        """Total set bits across packed uint64 words."""
+        return popcount_words(words)
+
+    def count_trial_ones(self, words: np.ndarray, trials: int) -> int:
+        """Set bits among the first ``trials`` of a packed plane."""
+        return count_trial_ones(words, trials)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,583 @@
+"""The ``fused`` backend: whole slot schedules as prebuilt kernel chains.
+
+The ``numpy`` backend pays one generic :func:`apply_plane_program` walk
+per slot group: fresh output allocations, re-derived scratch, and a
+gather/compute/scatter round trip on every call.  At 100k trials the
+workload is memory-bound — the planes live in L2/L3 and every avoidable
+allocation or copy is a real cache eviction — so this backend compiles
+each :class:`~repro.core.compiled.CompiledCircuit` ONCE into a chain of
+specialised kernels and then replays the chain per cycle:
+
+* **Planning** (:func:`_plan_group`): each output position's plane
+  expression is normalised to an XOR set over *terms* (input planes and
+  AND monomials), and XOR pairs shared between outputs are extracted
+  into common subexpressions — the MAJ/MAJ_INV programs that dominate
+  the recovery constructions share most of their monomial work.
+* **Code generation** (:func:`_codegen_spec`): per slot group, a small
+  Python function is generated (via ``exec``) whose statements are
+  nothing but ``np.bitwise_*(..., out=...)`` calls on precomputed plane
+  views and scratch buffers.  Outputs are written *in place* into the
+  gathered views whenever a dependency-aware ordering allows it (an
+  output's view may be overwritten only once no remaining output still
+  reads that plane; genuine cycles spill through scratch), so a slot
+  moves no bytes beyond the arithmetic itself.
+* **Shared scratch** (:meth:`FusedProgram._bind`): all kernels of a
+  program share ONE scratch pool sized to the widest kernel.  Private
+  per-kernel buffers measurably evict the planes from cache on the
+  100k-trial workload; the shared pool is what turns the op-count
+  savings into wall-clock savings.
+* **Optional JIT** (:func:`_tape_apply`): when :mod:`numba` is
+  importable (``REPRO_JIT=0`` opts out), gate groups instead run a
+  register-tape interpreter compiled with ``@njit`` — same planned op
+  sequence, executed word-serially without NumPy dispatch.  numba is
+  never required: import or compilation failure silently falls back to
+  the generated-kernel chain, so CI needs no new hard dependency.  The
+  tape function itself is plain Python and is unit-tested unjitted.
+
+Both paths evaluate exactly the boolean functions of the compiled
+program — XOR/AND reassociation is exact on bits — so the backend is
+bit-identical to ``numpy`` by construction and never touches the RNG;
+the conformance suite and the frozen digest tests pin both properties.
+Groups whose program contains a ``dnf`` expression (possible for exotic
+user gates; no library gate lowers to one) fall back to the generic
+stacked apply within an otherwise fused chain.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from itertools import combinations
+
+import numpy as np
+
+from repro.backends.base import PlaneBackend, PreparedProgram
+from repro.core.compiled import ALL_ONES, apply_plane_program
+
+__all__ = ["FusedBackend", "FusedProgram"]
+
+#: Term tags: ``("x", i)`` input plane at gate position ``i``;
+#: ``("m", j)`` the ``j``-th AND monomial; ``("t", j)`` the ``j``-th
+#: extracted common XOR pair.
+_Term = tuple[str, int]
+
+
+class _GroupPlan:
+    """One slot group's program normalised for kernel generation.
+
+    ``outputs[p]`` is ``(terms, invert)``: position ``p``'s plane is the
+    XOR of the term values, complemented when ``invert``.  ``monomials``
+    holds the distinct AND monomials (input positions); ``pairs`` the
+    extracted common XOR subexpressions, each a pair of earlier terms.
+    """
+
+    __slots__ = ("monomials", "pairs", "outputs")
+
+    def __init__(self, monomials, pairs, outputs):
+        self.monomials = monomials
+        self.pairs = pairs
+        self.outputs = outputs
+
+
+def _plan_group(program) -> _GroupPlan | None:
+    """Normalise a plane program to XOR-of-terms and extract shared pairs.
+
+    Returns ``None`` when any expression falls outside the XOR/AND
+    algebra (the ``dnf`` fallback form, or a degenerate constant) — the
+    caller then uses the generic interpreter for that group.
+    """
+    mono_index: dict[tuple[int, ...], int] = {}
+    outputs: list[tuple[set[_Term], bool]] = []
+    for expression in program:
+        tag = expression[0]
+        if tag == "copy":
+            outputs.append(({("x", expression[1])}, False))
+        elif tag == "affine":
+            invert, positions = expression[1], expression[2]
+            if not positions:
+                return None
+            outputs.append(({("x", p) for p in positions}, invert))
+        elif tag == "anf":
+            invert, monomials = expression[1], expression[2]
+            if not monomials:
+                return None
+            terms: set[_Term] = set()
+            for monomial in monomials:
+                if len(monomial) == 1:
+                    terms.add(("x", monomial[0]))
+                else:
+                    terms.add(
+                        ("m", mono_index.setdefault(monomial, len(mono_index)))
+                    )
+            outputs.append((terms, invert))
+        else:  # "dnf" or unknown
+            return None
+    monomials = [None] * len(mono_index)
+    for monomial, index in mono_index.items():
+        monomials[index] = monomial
+    # Greedy common-subexpression extraction: any XOR pair appearing in
+    # two or more outputs is computed once.  Replacing a pair in n
+    # outputs saves n XORs for the one the pair itself costs; extracted
+    # pairs become terms themselves, so chains of shared structure
+    # (MAJ's three two-input monomial sums) collapse iteratively.
+    # Everything iterates in sorted order so generation is
+    # deterministic; the result is the same boolean function in any
+    # order — XOR reassociation is exact on bits.
+    pairs: list[tuple[_Term, _Term]] = []
+    while True:
+        counts: Counter = Counter()
+        for terms, _ in outputs:
+            if len(terms) >= 2:
+                counts.update(combinations(sorted(terms), 2))
+        if not counts:
+            break
+        pair, count = counts.most_common(1)[0]
+        if count < 2:
+            break
+        replacement: _Term = ("t", len(pairs))
+        pairs.append(pair)
+        first, second = pair
+        for terms, _ in outputs:
+            if first in terms and second in terms:
+                terms.discard(first)
+                terms.discard(second)
+                terms.add(replacement)
+    return _GroupPlan(monomials, pairs, outputs)
+
+
+class _KernelSpec:
+    """One chain entry: a kernel plus its scratch-buffer requirements.
+
+    ``fn`` takes ``(planes, *buffers)`` where each buffer is a
+    ``(k, n_words)`` uint64 scratch block from the program's shared
+    pool (``nbuf == 0`` kernels take planes only); ``source`` keeps the
+    generated code for introspection and tests.
+    """
+
+    __slots__ = ("fn", "nbuf", "k", "source")
+
+    def __init__(self, fn, nbuf: int, k: int, source: str | None = None):
+        self.fn = fn
+        self.nbuf = nbuf
+        self.k = k
+        self.source = source
+
+
+def _reset_kernel(wires, value: int) -> _KernelSpec:
+    rows = np.asarray(wires, dtype=np.intp)
+    fill = ALL_ONES if value else np.uint64(0)
+
+    def kernel(planes):
+        planes[rows] = fill
+
+    return _KernelSpec(kernel, 0, 1)
+
+
+def _generic_kernel(group) -> _KernelSpec:
+    """Interpreter fallback for groups the planner declines (dnf forms).
+
+    Mirrors :meth:`BitplaneState.apply_program_stacked` on raw planes —
+    same gather, same program walk, same scatter — so the fallback is
+    bit-identical to the ``numpy`` backend for these groups.
+    """
+    program = group.program
+    wire_matrix = group.wire_matrix
+    row_slices = group.row_slices
+    arity = wire_matrix.shape[1]
+
+    def kernel(planes):
+        inputs = [
+            planes[row_slices[i]]
+            if row_slices and row_slices[i] is not None
+            else planes[wire_matrix[:, i]]
+            for i in range(arity)
+        ]
+        outputs = apply_plane_program(program, inputs)
+        for i, block in enumerate(outputs):
+            if row_slices and row_slices[i] is not None:
+                planes[row_slices[i]] = block
+            else:
+                planes[wire_matrix[:, i]] = block
+
+    return _KernelSpec(kernel, 0, wire_matrix.shape[0])
+
+
+def _codegen_spec(group, plan: _GroupPlan) -> _KernelSpec | None:
+    """Generate the in-place NumPy kernel for one planned slot group.
+
+    The generated function gathers each gate position once (a plane
+    *view* for arithmetic-progression positions, a fancy-indexed copy
+    otherwise), computes monomials and extracted pairs into scratch,
+    then writes each output position — in place into its view when no
+    remaining output still reads that plane, immediately for
+    fancy-gathered positions (their gathered copy preserves the
+    pre-gate value), and through a deferred scratch spill when outputs
+    genuinely cycle (SWAP-like groups).  Returns ``None`` when every
+    output is an identity copy.
+    """
+    k, arity = group.wire_matrix.shape
+    env: dict = {"np": np}
+    lines: list[str] = []
+    is_view: list[bool] = []
+    for i in range(arity):
+        view = bool(group.row_slices) and group.row_slices[i] is not None
+        is_view.append(view)
+        if view:
+            sl = group.row_slices[i]
+            step = sl.step if sl.step is not None else 1
+            lines.append(f"    x{i} = planes[{sl.start}:{sl.stop}:{step}]")
+        else:
+            env[f"_idx{i}"] = np.ascontiguousarray(group.wire_matrix[:, i])
+            lines.append(f"    x{i} = planes[_idx{i}]")
+
+    nbuf = 0
+
+    def new_buffer() -> str:
+        nonlocal nbuf
+        nbuf += 1
+        return f"b{nbuf - 1}"
+
+    refs: dict[_Term, str] = {("x", i): f"x{i}" for i in range(arity)}
+    for mid, monomial in enumerate(plan.monomials):
+        buffer = new_buffer()
+        refs[("m", mid)] = buffer
+        lines.append(
+            f"    np.bitwise_and(x{monomial[0]}, x{monomial[1]}, out={buffer})"
+        )
+        for position in monomial[2:]:
+            lines.append(f"    np.bitwise_and({buffer}, x{position}, out={buffer})")
+    for pid, (first, second) in enumerate(plan.pairs):
+        buffer = new_buffer()
+        refs[("t", pid)] = buffer
+        lines.append(
+            f"    np.bitwise_xor({refs[first]}, {refs[second]}, out={buffer})"
+        )
+
+    def emit(terms: set, invert: bool, dest: str, self_position: int | None):
+        # When dest is position p's own view and x_p is a term, consume
+        # it first — the first statement overwrites dest.
+        ordered = sorted(terms)
+        if self_position is not None and ("x", self_position) in terms:
+            ordered.remove(("x", self_position))
+            ordered.insert(0, ("x", self_position))
+        operands = [refs[term] for term in ordered]
+        if len(operands) == 1:
+            if invert:
+                lines.append(f"    np.bitwise_not({operands[0]}, out={dest})")
+            elif operands[0] != dest:
+                lines.append(f"    np.copyto({dest}, {operands[0]})")
+            return
+        lines.append(
+            f"    np.bitwise_xor({operands[0]}, {operands[1]}, out={dest})"
+        )
+        for operand in operands[2:]:
+            lines.append(f"    np.bitwise_xor({dest}, {operand}, out={dest})")
+        if invert:
+            lines.append(f"    np.bitwise_not({dest}, out={dest})")
+
+    remaining: dict[int, tuple[set, bool]] = {}
+    for position, (terms, invert) in enumerate(plan.outputs):
+        if terms == {("x", position)} and not invert:
+            continue  # identity output: plane untouched
+        remaining[position] = (terms, invert)
+    if not remaining:
+        return None
+    reads = {
+        position: {i for tag, i in terms if tag == "x"}
+        for position, (terms, _) in remaining.items()
+    }
+    deferred: list[tuple[int, str]] = []
+    pending = set(remaining)
+    while pending:
+        pick = None
+        for position in sorted(pending):
+            if not is_view[position] or all(
+                position not in reads[other]
+                for other in pending
+                if other != position
+            ):
+                pick = position
+                break
+        if pick is None:
+            # Cycle (SWAP-like): compute the smallest pending output
+            # now, into scratch, and write its view after the loop.
+            pick = min(pending)
+            buffer = new_buffer()
+            terms, invert = remaining[pick]
+            emit(terms, invert, buffer, None)
+            deferred.append((pick, buffer))
+        else:
+            terms, invert = remaining[pick]
+            if is_view[pick]:
+                emit(terms, invert, f"x{pick}", pick)
+            else:
+                # Fancy-gathered: x_pick is already a copy, so the
+                # scatter never clobbers any other output's read.
+                buffer = new_buffer()
+                emit(terms, invert, buffer, None)
+                lines.append(f"    planes[_idx{pick}] = {buffer}")
+        pending.discard(pick)
+    for position, buffer in deferred:
+        lines.append(f"    np.copyto(x{position}, {buffer})")
+
+    parameters = ", ".join(["planes"] + [f"b{i}" for i in range(nbuf)])
+    source = f"def kernel({parameters}):\n" + "\n".join(lines) + "\n"
+    exec(source, env)  # noqa: S102 - generated from compiled programs only
+    return _KernelSpec(env["kernel"], nbuf, k, source)
+
+
+# ----------------------------------------------------------------------
+# Register-tape interpreter (the numba-JIT path)
+# ----------------------------------------------------------------------
+
+#: Tape opcodes: dst = a & b / a ^ b / ~a / a.
+_OP_AND, _OP_XOR, _OP_NOT, _OP_COPY = 0, 1, 2, 3
+
+
+def _tape_apply(planes, wires, tape, out_pos, out_reg, regs, ones):
+    """Evaluate one group's register tape word-serially, in place.
+
+    ``wires`` is the ``(k, arity)`` instance layout; for every instance
+    and plane word, the input words load into the low registers, the
+    tape runs, and the output registers store back.  All loads happen
+    before any store per (instance, word) site, so in-place evaluation
+    needs no ordering analysis.  Plain Python (and unit-tested as
+    such); compiled with ``numba.njit`` when available.
+    """
+    k, arity = wires.shape
+    n_words = planes.shape[1]
+    for j in range(k):
+        for w in range(n_words):
+            for i in range(arity):
+                regs[i] = planes[wires[j, i], w]
+            for t in range(tape.shape[0]):
+                op = tape[t, 0]
+                a = tape[t, 1]
+                b = tape[t, 2]
+                d = tape[t, 3]
+                if op == 0:
+                    regs[d] = regs[a] & regs[b]
+                elif op == 1:
+                    regs[d] = regs[a] ^ regs[b]
+                elif op == 2:
+                    regs[d] = regs[a] ^ ones
+                else:
+                    regs[d] = regs[a]
+            for o in range(out_pos.shape[0]):
+                planes[wires[j, out_pos[o]], w] = regs[out_reg[o]]
+
+
+def _build_tape(plan: _GroupPlan, arity: int):
+    """Lower a group plan to ``(tape, out_pos, out_reg, n_regs)`` arrays.
+
+    Register layout: inputs ``0..arity-1``, then one register per
+    monomial, per extracted pair, per non-identity output — the same
+    planned op sequence the NumPy codegen emits, flattened to scalars.
+    """
+    register_of: dict[_Term, int] = {("x", i): i for i in range(arity)}
+    next_register = arity
+    tape: list[tuple[int, int, int, int]] = []
+    for mid, monomial in enumerate(plan.monomials):
+        register = next_register
+        next_register += 1
+        register_of[("m", mid)] = register
+        tape.append((_OP_AND, monomial[0], monomial[1], register))
+        for position in monomial[2:]:
+            tape.append((_OP_AND, register, position, register))
+    for pid, (first, second) in enumerate(plan.pairs):
+        register = next_register
+        next_register += 1
+        register_of[("t", pid)] = register
+        tape.append((_OP_XOR, register_of[first], register_of[second], register))
+    out_pos: list[int] = []
+    out_reg: list[int] = []
+    for position, (terms, invert) in enumerate(plan.outputs):
+        if terms == {("x", position)} and not invert:
+            continue
+        operands = [register_of[term] for term in sorted(terms)]
+        register = next_register
+        next_register += 1
+        if len(operands) == 1:
+            tape.append(
+                (_OP_NOT if invert else _OP_COPY, operands[0], 0, register)
+            )
+        else:
+            tape.append((_OP_XOR, operands[0], operands[1], register))
+            for operand in operands[2:]:
+                tape.append((_OP_XOR, register, operand, register))
+            if invert:
+                tape.append((_OP_NOT, register, 0, register))
+        out_pos.append(position)
+        out_reg.append(register)
+    return (
+        np.asarray(tape, dtype=np.int64).reshape(-1, 4),
+        np.asarray(out_pos, dtype=np.int64),
+        np.asarray(out_reg, dtype=np.int64),
+        next_register,
+    )
+
+
+_JIT_KERNEL = None
+_JIT_UNAVAILABLE = False
+
+
+def _jit_tape_kernel():
+    """The njit-compiled tape interpreter, or ``None`` without numba.
+
+    Import or decoration failure marks JIT unavailable for the process
+    — the silent-fallback contract: the fused backend then runs its
+    generated NumPy chain, and nothing else changes.
+    """
+    global _JIT_KERNEL, _JIT_UNAVAILABLE
+    if _JIT_KERNEL is None and not _JIT_UNAVAILABLE:
+        try:
+            import numba
+
+            _JIT_KERNEL = numba.njit(cache=False, nogil=True)(_tape_apply)
+        except Exception:
+            _JIT_UNAVAILABLE = True
+    return _JIT_KERNEL
+
+
+def _tape_spec(group, plan: _GroupPlan, jit_kernel) -> _KernelSpec | None:
+    tape, out_pos, out_reg, n_registers = _build_tape(
+        plan, group.wire_matrix.shape[1]
+    )
+    if out_pos.size == 0:
+        return None
+    wires = np.ascontiguousarray(group.wire_matrix, dtype=np.int64)
+    registers = np.empty(n_registers, dtype=np.uint64)
+
+    def kernel(planes):
+        jit_kernel(planes, wires, tape, out_pos, out_reg, registers, ALL_ONES)
+
+    return _KernelSpec(kernel, 0, wires.shape[0])
+
+
+# ----------------------------------------------------------------------
+# The prepared program and the backend
+# ----------------------------------------------------------------------
+
+#: Bound-chain cache width: distinct ``n_words`` seen per program (solo
+#: runs and a couple of stacked batch widths in practice).
+_MAX_BOUND_WIDTHS = 8
+
+
+class FusedProgram(PreparedProgram):
+    """A compiled circuit lowered to a per-slot chain of built kernels.
+
+    Kernel *structure* (generated code, index tables, tapes) is built
+    once here; scratch is bound lazily per plane width in :meth:`_bind`,
+    because the stacked executor runs the same program over differently
+    sized word axes.
+    """
+
+    def __init__(self, compiled, jit: bool = False):
+        super().__init__(compiled)
+        jit_kernel = _jit_tape_kernel() if jit else None
+        #: Whether gate groups run through the numba tape interpreter.
+        self.jit = jit_kernel is not None
+        self._max_nbuf = 0
+        self._max_k = 1
+        self._bound: dict[int, tuple] = {}
+        slot_specs: list[tuple[_KernelSpec, ...]] = []
+        for slot in compiled.slots:
+            specs: list[_KernelSpec] = []
+            if slot.is_reset:
+                for value, wires in slot.resets:
+                    specs.append(_reset_kernel(wires, value))
+            else:
+                for group in slot.groups:
+                    plan = _plan_group(group.program)
+                    if plan is None:
+                        spec = _generic_kernel(group)
+                    elif jit_kernel is not None:
+                        spec = _tape_spec(group, plan, jit_kernel)
+                    else:
+                        spec = _codegen_spec(group, plan)
+                    if spec is None:
+                        continue  # identity group: nothing to execute
+                    self._max_nbuf = max(self._max_nbuf, spec.nbuf)
+                    self._max_k = max(self._max_k, spec.k)
+                    specs.append(spec)
+            slot_specs.append(tuple(specs))
+        self._specs: tuple[tuple[_KernelSpec, ...], ...] = tuple(slot_specs)
+
+    def _bind(self, n_words: int) -> tuple:
+        """Close every kernel over shared scratch sized for ``n_words``.
+
+        ONE pool serves all kernels (sliced to each kernel's ``(nbuf,
+        k)`` footprint): the kernels run sequentially, so reuse is
+        safe, and keeping the working set to planes-plus-one-pool is
+        what keeps the chain resident in cache.
+        """
+        pool = (
+            np.empty((self._max_nbuf, self._max_k, n_words), dtype=np.uint64)
+            if self._max_nbuf
+            else None
+        )
+        chain = []
+        for specs in self._specs:
+            bound = []
+            for spec in specs:
+                if spec.nbuf:
+                    buffers = tuple(
+                        pool[i, : spec.k] for i in range(spec.nbuf)
+                    )
+                    bound.append(_bind_buffers(spec.fn, buffers))
+                else:
+                    bound.append(spec.fn)
+            chain.append(tuple(bound))
+        return tuple(chain)
+
+    def _chain(self, n_words: int) -> tuple:
+        chain = self._bound.get(n_words)
+        if chain is None:
+            if len(self._bound) >= _MAX_BOUND_WIDTHS:
+                self._bound.pop(next(iter(self._bound)))
+            chain = self._bind(n_words)
+            self._bound[n_words] = chain
+        return chain
+
+    def apply_slot(self, state, index: int) -> None:
+        for kernel in self._chain(state.n_words)[index]:
+            kernel(state.planes)
+
+    def run(self, state):
+        planes = state.planes
+        for kernels in self._chain(state.n_words):
+            for kernel in kernels:
+                kernel(planes)
+        return state
+
+
+def _bind_buffers(fn, buffers):
+    def bound(planes):
+        fn(planes, *buffers)
+
+    return bound
+
+
+class FusedBackend(PlaneBackend):
+    """Prebuilt-kernel-chain backend (optionally numba-JIT).
+
+    ``jit=None`` follows ``REPRO_JIT`` (default on, meaning *use numba
+    if importable*); ``False`` forces the generated NumPy chain,
+    ``True`` requests the tape path — still falling back silently when
+    numba is absent.  Both modes are bit-identical.
+    """
+
+    name = "fused"
+
+    def __init__(self, jit: bool | None = None):
+        if jit is None:
+            jit = os.environ.get("REPRO_JIT", "1") != "0"
+        self.jit = bool(jit)
+
+    def prepare_key(self) -> str:
+        if self.jit and _jit_tape_kernel() is not None:
+            return "fused+jit"
+        return "fused"
+
+    def _prepare(self, compiled) -> FusedProgram:
+        return FusedProgram(compiled, jit=self.jit)

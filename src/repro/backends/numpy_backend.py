@@ -1,0 +1,41 @@
+"""The ``numpy`` backend: the original BitplaneState slot loop, extracted.
+
+This is a pure extraction of the execution path that
+:meth:`~repro.core.compiled.CompiledCircuit.run` and the noisy engines
+used before the backend seam existed: reset slots assign constant
+planes, gate slots evaluate each stacked program group through
+:meth:`~repro.core.bitplane.BitplaneState.apply_program_stacked`.  It
+is the reference implementation every other backend is conformance-
+and digest-tested against, and it must stay bit-identical to the
+pre-backend code — all frozen RNG digests run through it unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import PlaneBackend, PreparedProgram
+
+__all__ = ["NumpyBackend", "NumpyProgram"]
+
+
+class NumpyProgram(PreparedProgram):
+    """Slot-by-slot execution through the state's stacked apply."""
+
+    def apply_slot(self, state, index: int) -> None:
+        slot = self.compiled.slots[index]
+        if slot.is_reset:
+            for value, wires in slot.resets:
+                state.reset(wires, value)
+        else:
+            for group in slot.groups:
+                state.apply_program_stacked(
+                    group.program, group.wire_matrix, group.row_slices
+                )
+
+
+class NumpyBackend(PlaneBackend):
+    """The reference uint64 bit-plane backend (one dispatch per group)."""
+
+    name = "numpy"
+
+    def _prepare(self, compiled) -> NumpyProgram:
+        return NumpyProgram(compiled)

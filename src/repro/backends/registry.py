@@ -1,0 +1,90 @@
+"""Name-keyed registry of plane-program execution backends.
+
+Backends register a *factory* under a name; instances are created
+lazily and shared process-wide (they are stateless apart from caches
+keyed on the compiled circuits themselves).  ``REPRO_BACKEND`` selects
+the default — wired through
+:meth:`~repro.runtime.spec.ExecutionPolicy.from_env` like every other
+execution knob — and unknown names raise
+:class:`~repro.errors.ConfigError` instead of silently falling back.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+from repro.backends.base import PlaneBackend
+from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "backend_from_env",
+    "get_backend",
+    "register_backend",
+]
+
+#: The backend used when neither the caller nor ``REPRO_BACKEND`` says
+#: otherwise — the extracted original :class:`BitplaneState` path.
+DEFAULT_BACKEND = "numpy"
+
+_FACTORIES: dict[str, Callable[[], PlaneBackend]] = {}
+_INSTANCES: dict[str, PlaneBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], PlaneBackend], replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``replace=True`` allows re-registration (tests swapping in an
+    instrumented backend); otherwise duplicate names are configuration
+    errors — two implementations silently shadowing each other is
+    exactly the failure mode the registry exists to prevent.
+    """
+    if not replace and name in _FACTORIES:
+        raise ConfigError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def backend_from_env() -> str:
+    """The backend name selected by ``REPRO_BACKEND`` (validated)."""
+    name = os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND)
+    if name not in _FACTORIES:
+        raise ConfigError(
+            f"REPRO_BACKEND={name!r} is not a registered backend; "
+            f"available backends: {available_backends()}"
+        )
+    return name
+
+
+def get_backend(name: str | PlaneBackend | None = None) -> PlaneBackend:
+    """The shared instance of a registered backend.
+
+    ``None`` follows ``REPRO_BACKEND`` (default ``numpy``); an existing
+    :class:`PlaneBackend` instance passes through unchanged, so callers
+    can hand-construct configured backends (e.g. the fused backend with
+    JIT forced off) and still use the same code paths.
+    """
+    if isinstance(name, PlaneBackend):
+        return name
+    if name is None:
+        name = backend_from_env()
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise ConfigError(
+                f"unknown backend {name!r}; available backends: "
+                f"{available_backends()}"
+            )
+        instance = factory()
+        _INSTANCES[name] = instance
+    return instance

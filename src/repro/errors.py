@@ -24,6 +24,17 @@ class SimulationError(ReproError):
     """A simulation was asked to do something unsupported or inconsistent."""
 
 
+class ConfigError(SimulationError):
+    """A configuration knob has an invalid value.
+
+    Raised when a ``REPRO_*`` environment variable or an
+    :class:`~repro.runtime.ExecutionPolicy` field names an unknown
+    engine/backend or fails to parse — configuration mistakes must fail
+    loudly instead of silently falling back to defaults.  Subclasses
+    :class:`SimulationError` so existing handlers keep working.
+    """
+
+
 class CodingError(ReproError):
     """An encoding/decoding operation on a code is invalid."""
 

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.core.bitplane import BitplaneState, mask_from_positions
 from repro.core.circuit import Circuit
 from repro.core.compiled import compile_circuit
@@ -151,6 +152,7 @@ def inject_slot_faults(
     virtual: np.ndarray,
     n_words: int,
     trials: int,
+    backend=None,
 ) -> None:
     """Scatter one slot's slice of a batched fault draw into ``states``.
 
@@ -167,7 +169,17 @@ def inject_slot_faults(
     same segmentation once per *error class* instead of per slot (see
     ``_point_class_sites`` there); the two must stay in step on the
     padding rule and the segment/select construction.
+
+    ``backend`` routes the scatter through a
+    :class:`~repro.backends.PlaneBackend` (``None`` uses the state's
+    own method — identical for the in-tree backends, which share the
+    plane store).
     """
+    if backend is None:
+        scatter = states.randomize_stacked
+    else:
+        def scatter(*args, **kwargs):
+            backend.randomize_stacked(states, *args, **kwargs)
     words = virtual >> 6
     bits = np.uint64(1) << (virtual & 63).astype(np.uint64)
     segment_starts = np.concatenate(
@@ -181,14 +193,12 @@ def inject_slot_faults(
         # Faults on padding bits of each op's last word are no-ops.
         select[word_of == n_words - 1] &= np.uint64((1 << (trials % 64)) - 1)
     if len(slot.groups) == 1:
-        states.randomize_stacked(
-            slot.groups[0].wire_matrix, rng, op_of, word_of, select
-        )
+        scatter(slot.groups[0].wire_matrix, rng, op_of, word_of, select)
         return
     for index, group in enumerate(slot.groups):
         here = np.flatnonzero(slot.op_group[op_of] == index)
         if here.size:
-            states.randomize_stacked(
+            scatter(
                 group.wire_matrix,
                 rng,
                 slot.op_row[op_of[here]],
@@ -228,7 +238,11 @@ class NoisyRunner:
     the module docstring for the engines and the RNG-stream caveat.
     :meth:`run` dispatches on the state type it is handed, so an
     explicitly constructed :class:`BitplaneState` always takes the
-    bit-parallel path regardless of ``engine``.
+    bit-parallel path regardless of ``engine``.  ``backend`` selects
+    which registered :mod:`repro.backends` implementation executes the
+    fused bitplane slots — backends are bit-identical and never touch
+    the generator, so the choice can never change a result or an RNG
+    stream.
     """
 
     def __init__(
@@ -238,17 +252,19 @@ class NoisyRunner:
         engine: str = "auto",
         fuse: bool | None = None,
         compile_cache: bool | None = None,
+        backend=None,
     ):
         _validate_engine(engine)
         self.model = model
         self.rng = _as_generator(seed)
         self.engine = engine
-        # None defers to the REPRO_FUSE / REPRO_COMPILE_CACHE knobs at
-        # compile time; an :class:`~repro.runtime.ExecutionPolicy`
-        # passes explicit values so no environment read happens
-        # mid-run.
+        # None defers to the REPRO_FUSE / REPRO_COMPILE_CACHE /
+        # REPRO_BACKEND knobs at compile time; an
+        # :class:`~repro.runtime.ExecutionPolicy` passes explicit
+        # values so no environment read happens mid-run.
         self.fuse = fuse
         self.compile_cache = compile_cache
+        self.backend = backend
 
     def run(
         self, circuit: Circuit, states: BatchedState | BitplaneState
@@ -299,6 +315,8 @@ class NoisyRunner:
         )
         if not compiled.fused:
             return self._run_bitplane_per_op(compiled, states)
+        backend = get_backend(self.backend)
+        prepared = backend.prepare(compiled)
         trials = states.trials
         padded = states.n_words * 64
         fault_counts = np.zeros(trials, dtype=np.int64)
@@ -325,15 +343,8 @@ class NoisyRunner:
             if real.size:
                 fault_counts += np.bincount(real, minlength=trials)
             class_draws[is_reset] = virtual
-        for slot in compiled.slots:
-            if slot.is_reset:
-                for value, wires in slot.resets:
-                    states.reset(wires, value)
-            else:
-                for group in slot.groups:
-                    states.apply_program_stacked(
-                        group.program, group.wire_matrix, group.row_slices
-                    )
+        for index, slot in enumerate(compiled.slots):
+            prepared.apply_slot(states, index)
             virtual = class_draws.get(slot.is_reset)
             if virtual is None:
                 continue
@@ -349,6 +360,7 @@ class NoisyRunner:
                     virtual[low:high] - base,
                     n_words=states.n_words,
                     trials=trials,
+                    backend=backend,
                 )
         return NoisyResult(states=states, fault_counts=fault_counts)
 

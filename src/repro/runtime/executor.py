@@ -48,6 +48,7 @@ from functools import partial
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.core.bitplane import BitplaneState, popcount_words, words_for
 from repro.core.compiled import compile_circuit
 from repro.errors import AnalysisError, SimulationError
@@ -119,6 +120,7 @@ def _run_point_legacy(spec: RunSpec, engine: str, policy: ExecutionPolicy) -> Po
         engine=engine,
         fuse=policy.fuse,
         compile_cache=policy.compile_cache,
+        backend=policy.backend,
     )
     result = runner.run_from_input(spec.circuit, spec.input_bits, spec.trials)
     failures = as_observable(spec.observable).count_failures(result.states)
@@ -437,6 +439,8 @@ def _run_group_stacked(
     compiled = compile_circuit(
         first.circuit, fuse=True, cache=policy.compile_cache
     )
+    backend = get_backend(policy.backend)
+    prepared = backend.prepare(compiled)
     # The plan is pure structure derived from the fused schedule, so it
     # rides on the compiled program: a bisection or sweep re-running one
     # circuit builds it exactly once per process.
@@ -450,7 +454,7 @@ def _run_group_stacked(
     for width in words[:-1]:
         offsets.append(offsets[-1] + width)
     total_words = sum(words)
-    states = BitplaneState.broadcast(first.input_bits, total_words * 64)
+    states = backend.broadcast(first.input_bits, total_words * 64)
     rngs = [_as_generator(spec.seed) for spec in specs]
 
     # Phase 1 — per point: one gap-jumping draw per error class (solo
@@ -541,14 +545,7 @@ def _run_group_stacked(
     cell_offset = combined[6] if combined is not None else None
     class_slot_index = {False: 0, True: 0}
     for si, slot in enumerate(compiled.slots):
-        if slot.is_reset:
-            for value, wires in slot.resets:
-                states.reset(wires, value)
-        else:
-            for group in slot.groups:
-                states.apply_program_stacked(
-                    group.program, group.wire_matrix, group.row_slices
-                )
+        prepared.apply_slot(states, si)
         active = points_with[slot.is_reset]
         if not active:
             continue
@@ -625,8 +622,8 @@ def _run_group_stacked(
                 word_of = np.concatenate([part[1] for part in parts])
                 select = np.concatenate([part[2] for part in parts])
                 blocks = np.concatenate([part[3] for part in parts], axis=1)
-            states.randomize_stacked(
-                group.wire_matrix, None, rows, word_of, select, blocks
+            backend.randomize_stacked(
+                states, group.wire_matrix, None, rows, word_of, select, blocks
             )
 
     # Phase 3 — observation.  Points sharing one observable (the sweep

@@ -35,10 +35,11 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.backends import DEFAULT_BACKEND, available_backends
 from repro.core.bitplane import BitplaneState, count_trial_ones, words_for
 from repro.core.circuit import Circuit
 from repro.core.simulator import BatchedState
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.noise.model import NoiseModel
 from repro.noise.monte_carlo import ENGINES
 
@@ -240,6 +241,15 @@ class ExecutionPolicy:
             process-wide (``REPRO_COMPILE_CACHE``).
         trials: default Monte-Carlo budget for callers that take their
             trial count from the policy (``REPRO_TRIALS``).
+        backend: which registered plane-program backend executes
+            bitplane slots (``REPRO_BACKEND``; see
+            :mod:`repro.backends`).  Backends are bit-identical, so
+            this — like ``parallel`` — can never change a result.
+
+    Unknown engine or backend names raise
+    :class:`~repro.errors.ConfigError` (a ``SimulationError``
+    subclass): a typo in a knob must fail loudly, not silently run the
+    default.
     """
 
     engine: str = "auto"
@@ -247,11 +257,17 @@ class ExecutionPolicy:
     fuse: bool = True
     compile_cache: bool = True
     trials: int = DEFAULT_TRIALS
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
-            raise SimulationError(
+            raise ConfigError(
                 f"unknown engine {self.engine!r}; valid engines: {ENGINES}"
+            )
+        if self.backend not in available_backends():
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; available backends: "
+                f"{available_backends()}"
             )
         if self.trials < 1:
             raise SimulationError(f"trials must be >= 1, got {self.trials}")
@@ -264,21 +280,47 @@ class ExecutionPolicy:
         environment leaves unset, so callers can say "100k trials
         unless ``REPRO_TRIALS`` is exported".  This classmethod is the
         only place the execution knobs are read; hydrate once and pass
-        the policy around.
+        the policy around.  Invalid values raise
+        :class:`~repro.errors.ConfigError` naming the offending
+        variable — never a silent fall-back to the default.
         """
         policy = cls(**defaults)
         env = os.environ
         updates: dict = {}
         if "REPRO_ENGINE" in env:
+            if env["REPRO_ENGINE"] not in ENGINES:
+                raise ConfigError(
+                    f"REPRO_ENGINE={env['REPRO_ENGINE']!r} is not a valid "
+                    f"engine; valid engines: {ENGINES}"
+                )
             updates["engine"] = env["REPRO_ENGINE"]
+        if "REPRO_BACKEND" in env:
+            if env["REPRO_BACKEND"] not in available_backends():
+                raise ConfigError(
+                    f"REPRO_BACKEND={env['REPRO_BACKEND']!r} is not a "
+                    f"registered backend; available backends: "
+                    f"{available_backends()}"
+                )
+            updates["backend"] = env["REPRO_BACKEND"]
         if env.get("REPRO_PARALLEL") is not None:
-            updates["parallel"] = _parse_parallel(env["REPRO_PARALLEL"])
+            try:
+                updates["parallel"] = _parse_parallel(env["REPRO_PARALLEL"])
+            except ValueError as exc:
+                raise ConfigError(
+                    f"REPRO_PARALLEL={env['REPRO_PARALLEL']!r} is not an "
+                    f"integer or 'max'"
+                ) from exc
         if "REPRO_FUSE" in env:
             updates["fuse"] = env["REPRO_FUSE"] != "0"
         if "REPRO_COMPILE_CACHE" in env:
             updates["compile_cache"] = env["REPRO_COMPILE_CACHE"] != "0"
         if "REPRO_TRIALS" in env:
-            updates["trials"] = int(env["REPRO_TRIALS"])
+            try:
+                updates["trials"] = int(env["REPRO_TRIALS"])
+            except ValueError as exc:
+                raise ConfigError(
+                    f"REPRO_TRIALS={env['REPRO_TRIALS']!r} is not an integer"
+                ) from exc
         return replace(policy, **updates) if updates else policy
 
 

@@ -1,0 +1,227 @@
+"""Reusable conformance suite every plane-program backend must pass.
+
+Subclass :class:`BackendConformance` with a ``backend_name`` (and
+optionally a ``make_backend`` override for hand-configured instances)
+to instantiate the whole suite for one backend —
+``test_conformance.py`` does exactly that for every registered backend,
+and asserts none is left out.  The suite is behavioural: it pins the
+four guarantees the execution layers rely on, so any future backend
+that passes it can be swapped in without re-validating the physics.
+
+1. **Small-circuit equivalence** — every library gate and a population
+   of random mixed circuits, evaluated over *all* inputs at once,
+   agree bit for bit with the reference single-state simulator.
+2. **Stacked vs solo bit-identity** — multi-point executor batches
+   reproduce solo ``NoisyRunner`` runs exactly, per point.
+3. **Fault-draw bit-identity** — noisy runs (sparse and dense fault
+   regimes, odd trial counts exercising the padding rule) are
+   bit-identical to the ``numpy`` reference backend: backends execute
+   programs and scatter pre-drawn faults, they never touch the RNG.
+4. **Decode correctness** — the backend's majority/popcount decode
+   primitives match brute-force per-trial computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.coding import recovery_circuit
+from repro.core.circuit import Circuit
+from repro.core.compiled import compile_circuit
+from repro.core.library import REGISTRY
+from repro.core.simulator import run as reference_run
+from repro.noise import NoiseModel, NoisyRunner
+from repro.runtime import ExecutionPolicy, Executor, RunSpec
+
+RECOVERY_INPUT = (1, 1, 1) + (0,) * 6
+
+
+def all_input_rows(n_wires: int) -> np.ndarray:
+    """Every ``n_wires``-bit input as one (2**n, n) trial block."""
+    patterns = np.arange(1 << n_wires, dtype=np.int64)
+    shifts = np.arange(n_wires - 1, -1, -1, dtype=np.int64)
+    return ((patterns[:, None] >> shifts) & 1).astype(np.uint8)
+
+
+def reference_rows(circuit: Circuit, rows: np.ndarray) -> np.ndarray:
+    """The single-state reference simulator over a block of inputs."""
+    return np.asarray(
+        [reference_run(circuit, tuple(int(b) for b in row)) for row in rows],
+        dtype=np.uint8,
+    )
+
+
+def random_circuit(rng: np.random.Generator, n_wires: int, n_ops: int) -> Circuit:
+    """A random mix of library gates and resets on ``n_wires`` wires."""
+    circuit = Circuit(n_wires)
+    gates = [g for g in REGISTRY.values() if g.arity <= n_wires]
+    for _ in range(n_ops):
+        if rng.random() < 0.15:
+            wires = rng.choice(n_wires, size=rng.integers(1, 3), replace=False)
+            circuit.append_reset(
+                *(int(w) for w in wires), value=int(rng.integers(2))
+            )
+        else:
+            gate = gates[rng.integers(len(gates))]
+            wires = rng.choice(n_wires, size=gate.arity, replace=False)
+            circuit.append_gate(gate, *(int(w) for w in wires))
+    return circuit
+
+
+def failure_counts(policy: ExecutionPolicy, specs) -> list[int]:
+    return [result.failures for result in Executor(policy).run(specs)]
+
+
+class BackendConformance:
+    """The parametrized suite; subclass with ``backend_name = ...``."""
+
+    backend_name: str = ""
+
+    def make_backend(self):
+        """Override to conformance-test a hand-configured instance."""
+        return get_backend(self.backend_name)
+
+    @pytest.fixture
+    def backend(self):
+        return self.make_backend()
+
+    # ------------------------------------------------------------------
+    # 1. Exhaustive small-circuit equivalence vs the reference simulator
+    # ------------------------------------------------------------------
+
+    def test_every_library_gate_on_all_inputs(self, backend):
+        for name, gate in sorted(REGISTRY.items()):
+            circuit = Circuit(gate.arity)
+            circuit.append_gate(gate, *range(gate.arity))
+            rows = all_input_rows(gate.arity)
+            state = backend.from_rows(rows)
+            backend.prepare(compile_circuit(circuit)).run(state)
+            np.testing.assert_array_equal(
+                state.array, reference_rows(circuit, rows), err_msg=name
+            )
+
+    def test_random_mixed_circuits_on_all_inputs(self, backend):
+        rng = np.random.default_rng(606)
+        for n_wires in (3, 4, 5, 6):
+            for _ in range(6):
+                circuit = random_circuit(rng, n_wires, n_ops=12)
+                rows = all_input_rows(n_wires)
+                state = backend.from_rows(rows)
+                backend.prepare(compile_circuit(circuit)).run(state)
+                np.testing.assert_array_equal(
+                    state.array, reference_rows(circuit, rows)
+                )
+
+    def test_recovery_circuit_against_numpy_backend(self, backend):
+        # Wide batch (multi-word planes, stacked transversal groups).
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 2, size=(1000, 9), dtype=np.uint8)
+        compiled = compile_circuit(recovery_circuit())
+        state = backend.from_rows(rows)
+        backend.prepare(compiled).run(state)
+        reference = get_backend("numpy").from_rows(rows)
+        get_backend("numpy").prepare(compiled).run(reference)
+        np.testing.assert_array_equal(state.planes, reference.planes)
+
+    def test_slotwise_apply_matches_whole_run(self, backend):
+        # apply_slot is the noisy engines' entry point; slot-by-slot
+        # execution must equal the one-shot run.
+        compiled = compile_circuit(recovery_circuit())
+        a = backend.broadcast(RECOVERY_INPUT, 777)
+        b = backend.broadcast(RECOVERY_INPUT, 777)
+        prepared = backend.prepare(compiled)
+        prepared.run(a)
+        for index in range(len(compiled.slots)):
+            prepared.apply_slot(b, index)
+        np.testing.assert_array_equal(a.planes, b.planes)
+
+    # ------------------------------------------------------------------
+    # 2. Stacked vs solo bit-identity through the executor
+    # ------------------------------------------------------------------
+
+    def test_stacked_points_match_solo_runs(self, backend):
+        circuit = recovery_circuit()
+        noise_levels = (0.0, 1e-3, 0.05)
+        policy = ExecutionPolicy(engine="bitplane", backend=self.backend_name)
+        specs = [
+            RunSpec(
+                circuit=circuit,
+                input_bits=RECOVERY_INPUT,
+                observable=lambda s: s.majority_of((0, 1, 2)) != 1,
+                noise=NoiseModel(gate_error=g),
+                trials=3000,
+                seed=40 + i,
+            )
+            for i, g in enumerate(noise_levels)
+        ]
+        stacked = failure_counts(policy, specs)
+        solo = [
+            failure_counts(policy, [spec])[0] for spec in specs
+        ]
+        assert stacked == solo
+
+    # ------------------------------------------------------------------
+    # 3. Fault-draw bit-identity against the numpy reference backend
+    # ------------------------------------------------------------------
+
+    @pytest.mark.parametrize(
+        "gate_error, trials",
+        [
+            (0.01, 2000),  # sparse gap-jumping regime
+            (0.3, 1999),   # dense regime + padding bits in the last word
+        ],
+    )
+    def test_noisy_run_bit_identical_to_numpy(self, backend, gate_error, trials):
+        def noisy(chosen_backend):
+            runner = NoisyRunner(
+                NoiseModel(gate_error=gate_error),
+                seed=2026,
+                engine="bitplane",
+                backend=chosen_backend,
+            )
+            return runner.run_from_input(
+                recovery_circuit(), RECOVERY_INPUT, trials
+            )
+
+        ours = noisy(backend)
+        reference = noisy("numpy")
+        np.testing.assert_array_equal(
+            ours.fault_counts, reference.fault_counts
+        )
+        np.testing.assert_array_equal(
+            ours.states.planes, reference.states.planes
+        )
+
+    # ------------------------------------------------------------------
+    # 4. Decode correctness (majority / popcount primitives)
+    # ------------------------------------------------------------------
+
+    def test_majority_plane_matches_bruteforce(self, backend):
+        rng = np.random.default_rng(11)
+        rows = rng.integers(0, 2, size=(500, 9), dtype=np.uint8)
+        state = backend.from_rows(rows)
+        for wires in ((0, 1, 2), (0, 3, 6), (1, 4, 7)):
+            plane = backend.majority_plane(state, wires)
+            expected = (
+                rows[:, list(wires)].sum(axis=1) > len(wires) // 2
+            ).astype(np.uint8)
+            from repro.core.bitplane import unpack_words
+
+            np.testing.assert_array_equal(
+                unpack_words(plane, state.trials), expected
+            )
+
+    def test_popcount_primitives(self, backend):
+        rng = np.random.default_rng(12)
+        flags = rng.integers(0, 2, size=130, dtype=np.uint8)
+        from repro.core.bitplane import pack_bool
+
+        words = pack_bool(flags)
+        assert backend.popcount(words) == int(flags.sum())
+        assert backend.count_trial_ones(words, 130) == int(flags.sum())
+        # Padding bits must not leak into the trial count.
+        words_padded = words.copy()
+        words_padded[-1] |= np.uint64(1) << np.uint64(63)
+        assert backend.count_trial_ones(words_padded, 130) == int(flags.sum())

@@ -1,0 +1,52 @@
+"""Instantiate the backend conformance suite for every registered backend.
+
+One subclass of :class:`conformance.BackendConformance` per registered
+backend (plus a forced-configuration variant of the fused backend), and
+a completeness guard: registering a backend without adding it here
+fails the suite, so no backend can ship unconformed.
+"""
+
+from __future__ import annotations
+
+from conformance import BackendConformance
+
+from repro.backends import FusedBackend, available_backends
+
+
+class TestNumpyBackendConformance(BackendConformance):
+    backend_name = "numpy"
+
+
+class TestFusedBackendConformance(BackendConformance):
+    """The fused backend in its environment-selected configuration.
+
+    With numba importable this exercises the JIT tape path; without it,
+    the generated NumPy kernel chain — CI runs the suite in both
+    environments.
+    """
+
+    backend_name = "fused"
+
+
+class TestFusedBackendNoJitConformance(BackendConformance):
+    """The generated-kernel chain, with JIT explicitly forced off.
+
+    Keeps the pure-NumPy path conformed even on machines where numba
+    happens to be importable.
+    """
+
+    backend_name = "fused"
+
+    def make_backend(self):
+        return FusedBackend(jit=False)
+
+
+def test_every_registered_backend_is_conformance_tested():
+    covered = {
+        subclass.backend_name for subclass in BackendConformance.__subclasses__()
+    }
+    missing = set(available_backends()) - covered
+    assert not missing, (
+        f"registered backends without a conformance suite: {sorted(missing)} "
+        f"— add a BackendConformance subclass in {__file__}"
+    )

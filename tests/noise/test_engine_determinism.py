@@ -54,8 +54,10 @@ def _fresh_compile_cache():
     clear_compile_cache()
 
 
-def reference_run(engine: str, seed: int = 2026):
-    runner = NoisyRunner(NoiseModel(gate_error=0.01), seed=seed, engine=engine)
+def reference_run(engine: str, seed: int = 2026, backend: str | None = None):
+    runner = NoisyRunner(
+        NoiseModel(gate_error=0.01), seed=seed, engine=engine, backend=backend
+    )
     return runner.run_from_input(recovery_circuit(), (1, 1, 1) + (0,) * 6, 1000)
 
 
@@ -109,6 +111,28 @@ def test_unfused_stream_matches_pr1(monkeypatch):
     monkeypatch.setenv("REPRO_FUSE", "0")
     clear_compile_cache()
     assert run_digest(reference_run("bitplane")) == UNFUSED_BITPLANE_DIGEST
+
+
+@pytest.mark.parametrize("backend", ["numpy", "fused"])
+def test_backend_stream_digest_is_frozen(backend):
+    # Execution backends apply programs and scatter pre-drawn faults;
+    # they never touch the RNG.  Every backend therefore reproduces the
+    # *same* frozen bitplane digest — swapping REPRO_BACKEND can never
+    # change published numbers.
+    result = reference_run("bitplane", backend=backend)
+    assert run_digest(result) == EXPECTED_DIGESTS["bitplane"]
+
+
+def test_backend_choice_is_bit_invariant_across_seeds():
+    for seed in (2026, 7, 991):
+        numpy_run = reference_run("bitplane", seed=seed, backend="numpy")
+        fused_run = reference_run("bitplane", seed=seed, backend="fused")
+        np.testing.assert_array_equal(
+            numpy_run.fault_counts, fused_run.fault_counts
+        )
+        np.testing.assert_array_equal(
+            numpy_run.states.planes, fused_run.states.planes
+        )
 
 
 def test_compile_cache_is_result_invariant(monkeypatch):

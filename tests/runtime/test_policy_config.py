@@ -1,0 +1,77 @@
+"""Regression tests: invalid ``REPRO_*`` configuration fails loudly.
+
+Historically an unknown ``REPRO_ENGINE`` surfaced as a confusing
+failure deep inside the executor; now :meth:`ExecutionPolicy.from_env`
+(and direct construction) raise :class:`~repro.errors.ConfigError`
+naming the offending environment variable and listing the valid
+values.  ``ConfigError`` subclasses ``SimulationError`` so existing
+broad handlers keep working.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import DEFAULT_BACKEND, available_backends
+from repro.errors import ConfigError, SimulationError
+from repro.runtime import ExecutionPolicy
+
+
+class TestFromEnvValidation:
+    def test_unknown_engine_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "quantum")
+        with pytest.raises(ConfigError, match="REPRO_ENGINE"):
+            ExecutionPolicy.from_env()
+
+    def test_unknown_backend_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "cuda")
+        with pytest.raises(ConfigError, match="REPRO_BACKEND"):
+            ExecutionPolicy.from_env()
+
+    def test_error_lists_valid_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "cuda")
+        with pytest.raises(ConfigError, match="fused"):
+            ExecutionPolicy.from_env()
+
+    def test_bad_trials_is_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "lots")
+        with pytest.raises(ConfigError, match="REPRO_TRIALS"):
+            ExecutionPolicy.from_env()
+
+    def test_bad_parallel_is_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "some")
+        with pytest.raises(ConfigError, match="REPRO_PARALLEL"):
+            ExecutionPolicy.from_env()
+
+    def test_valid_env_round_trips(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "bitplane")
+        monkeypatch.setenv("REPRO_BACKEND", "fused")
+        monkeypatch.setenv("REPRO_TRIALS", "4096")
+        policy = ExecutionPolicy.from_env()
+        assert policy.engine == "bitplane"
+        assert policy.backend == "fused"
+        assert policy.trials == 4096
+
+    def test_defaults_survive_unset_environment(self, monkeypatch):
+        for var in ("REPRO_ENGINE", "REPRO_BACKEND", "REPRO_TRIALS"):
+            monkeypatch.delenv(var, raising=False)
+        policy = ExecutionPolicy.from_env()
+        assert policy.backend == DEFAULT_BACKEND
+        assert policy.backend in available_backends()
+
+
+class TestDirectConstructionValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="quantum"):
+            ExecutionPolicy(engine="quantum")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="cuda"):
+            ExecutionPolicy(backend="cuda")
+
+    def test_config_error_is_a_simulation_error(self):
+        # Broad `except SimulationError` handlers written before
+        # ConfigError existed must keep catching config mistakes.
+        assert issubclass(ConfigError, SimulationError)
+        with pytest.raises(SimulationError):
+            ExecutionPolicy(backend="cuda")

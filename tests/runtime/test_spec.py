@@ -151,6 +151,7 @@ class TestExecutionPolicy:
 
     def test_from_env_reads_every_knob(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "batched")
+        monkeypatch.setenv("REPRO_BACKEND", "fused")
         monkeypatch.setenv("REPRO_PARALLEL", "3")
         monkeypatch.setenv("REPRO_FUSE", "0")
         monkeypatch.setenv("REPRO_COMPILE_CACHE", "0")
@@ -158,6 +159,7 @@ class TestExecutionPolicy:
         policy = ExecutionPolicy.from_env()
         assert policy == ExecutionPolicy(
             engine="batched",
+            backend="fused",
             parallel=3,
             fuse=False,
             compile_cache=False,
@@ -177,6 +179,7 @@ class TestExecutionPolicy:
     def test_from_env_unset_environment_keeps_defaults(self, monkeypatch):
         for knob in (
             "REPRO_ENGINE",
+            "REPRO_BACKEND",
             "REPRO_PARALLEL",
             "REPRO_FUSE",
             "REPRO_COMPILE_CACHE",
