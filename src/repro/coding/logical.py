@@ -75,6 +75,33 @@ class LogicalProcessor:
         ]
         self.logical_gates_applied = 0
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same construction state, circuit, and layouts.
+
+        Two processors compare equal when one could decode the other's
+        output — the contract the JSON round-trip of
+        :mod:`repro.runtime.serialization` relies on for
+        ``RunSpec`` equality (specs embed a processor as their decode
+        observable's decoder).
+        """
+        if not isinstance(other, LogicalProcessor):
+            return NotImplemented
+        return (
+            self.n_logical == other.n_logical
+            and self.include_resets == other.include_resets
+            and self.logical_gates_applied == other.logical_gates_applied
+            and self.layouts == other.layouts
+            and self.circuit == other.circuit
+        )
+
+    def __hash__(self) -> int:
+        # Only init-time immutable fields participate: layouts and the
+        # circuit mutate as cycles append, and a hash that moved with
+        # them would corrupt any set or frozen-dataclass hash (e.g.
+        # DecodeObservable) holding the processor.  Collisions between
+        # same-shape processors are fine; equality disambiguates.
+        return hash((LogicalProcessor, self.n_logical, self.include_resets))
+
     # ------------------------------------------------------------------
     # Program construction
     # ------------------------------------------------------------------

@@ -69,6 +69,7 @@ needs no complemented literals).
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import TYPE_CHECKING
@@ -581,6 +582,26 @@ def compile_circuit(
     if not cache:
         return CompiledCircuit(circuit, fuse=fuse)
     return _COMPILE_CACHE.get(circuit, fuse)
+
+
+def warm_compile_cache(
+    circuits: Sequence[Circuit], fuse: bool | None = None
+) -> None:
+    """Pre-compile ``circuits`` into the process-wide cache.
+
+    The worker warm path for pooled execution: passed (via
+    :func:`functools.partial`, which pickles cleanly) as a process-pool
+    ``initializer``, every worker compiles each distinct circuit
+    exactly once up front, and every point it subsequently evaluates is
+    a compile-cache *hit* — the pool never recompiles per point.  With
+    the cache disabled by ``REPRO_COMPILE_CACHE=0`` this is a no-op:
+    warming a cache that will not be consulted would hide the knob's
+    cost signal.
+    """
+    if not compile_cache_enabled():
+        return
+    for circuit in circuits:
+        compile_circuit(circuit, fuse=fuse)
 
 
 def compile_cache_stats() -> dict[str, int]:

@@ -49,3 +49,25 @@ class AnalysisError(ReproError):
 
 class SynthesisError(ReproError):
     """A circuit-synthesis request is malformed or unsatisfiable."""
+
+
+class SerializationError(ReproError):
+    """A value cannot be converted to or from its JSON wire form.
+
+    Raised when a :class:`~repro.runtime.RunSpec` (or one of its
+    parts: circuit, observable, noise model, seed) is asked to
+    round-trip through JSON but carries state with no registered wire
+    form — an unpicklable-by-path predicate, a live RNG generator, an
+    unregistered decoder type — or when stored JSON declares a format
+    version this code does not understand.
+    """
+
+
+class JobError(ReproError):
+    """A sweep job or its result store is malformed or inconsistent.
+
+    Covers manifest mismatches (resubmitting a *different* sweep into
+    an existing job directory), corrupt or stale result-store entries
+    (content digest no longer matching the stored payload), and shard
+    checkpoints that fail verification on resume.
+    """

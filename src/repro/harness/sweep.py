@@ -32,10 +32,12 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from math import isfinite
 
 import numpy as np
 
+from repro.core.compiled import warm_compile_cache
 from repro.errors import AnalysisError
 from repro.runtime.executor import resolve_workers
 
@@ -76,6 +78,7 @@ def sweep(
     values: Iterable,
     parameter: str = "x",
     parallel: int | bool | None = None,
+    warm: Sequence | None = None,
 ) -> SweepResult:
     """Evaluate ``function`` over ``values`` and collect the pairs.
 
@@ -85,6 +88,14 @@ def sweep(
     be picklable and returns points in grid order, so results are
     identical to a serial sweep.
 
+    ``warm`` is a sequence of :class:`~repro.core.circuit.Circuit`\\ s
+    to pre-compile before any point runs — in-process for a serial
+    sweep, as the pool initializer for a parallel one, so every worker
+    compiles each circuit at most once and every point's
+    :func:`~repro.core.compiled.compile_circuit` call is a cache hit.
+    Without it, a pooled Monte-Carlo sweep recompiles the circuit in
+    whichever worker happens to run each point's *first* call.
+
     A point that raises is re-raised as an :class:`AnalysisError`
     carrying the offending parameter value (original exception
     chained), in both serial and pooled modes; a pooled failure
@@ -93,7 +104,10 @@ def sweep(
     """
     xs = tuple(values)
     workers = resolve_workers(parallel, len(xs))
+    warm = tuple(warm) if warm is not None else ()
     if workers == 0:
+        if warm:
+            warm_compile_cache(warm)
         ys = []
         for x in xs:
             try:
@@ -102,7 +116,10 @@ def sweep(
                 raise _point_error(parameter, x, exc) from exc
         ys = tuple(ys)
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=partial(warm_compile_cache, warm) if warm else None,
+        ) as pool:
             futures = [pool.submit(function, x) for x in xs]
             ys = []
             for x, future in zip(xs, futures):

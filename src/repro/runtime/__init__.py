@@ -21,6 +21,11 @@ from repro.runtime.spec import (
     as_observable,
 )
 from repro.runtime.executor import Executor, run_specs
+from repro.runtime.serialization import (
+    SPEC_FORMAT_VERSION,
+    spec_from_json,
+    spec_to_json,
+)
 
 __all__ = [
     "DEFAULT_TRIALS",
@@ -31,6 +36,9 @@ __all__ = [
     "PointResult",
     "PredicateObservable",
     "RunSpec",
+    "SPEC_FORMAT_VERSION",
     "as_observable",
     "run_specs",
+    "spec_from_json",
+    "spec_to_json",
 ]

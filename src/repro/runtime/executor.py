@@ -700,14 +700,18 @@ class Executor:
     def run(self, specs: Sequence[RunSpec]) -> list[PointResult]:
         """Evaluate every spec; results come back in spec order."""
         specs = list(specs)
+        if not specs:
+            # Fast path: an empty batch is a valid no-op (the caching
+            # executor and the shard runner routinely produce one when
+            # every point was served from a store), not worth touching
+            # policy resolution or grouping.
+            return []
         for spec in specs:
             if not isinstance(spec, RunSpec):
                 raise SimulationError(
                     f"Executor.run takes RunSpec instances, got "
                     f"{type(spec).__name__}"
                 )
-        if not specs:
-            return []
         groups: dict[tuple, list[int]] = {}
         for index, spec in enumerate(specs):
             groups.setdefault(_group_key(spec, self.policy), []).append(index)

@@ -211,6 +211,26 @@ class RunSpec:
             f"trials={self.trials}, seed={self.seed!r})"
         )
 
+    def to_json(self) -> dict:
+        """The spec's versioned JSON wire form.
+
+        Delegates to :func:`repro.runtime.serialization.spec_to_json`;
+        raises :class:`~repro.errors.SerializationError` for specs with
+        no faithful wire form (generator seeds, unregistered
+        observables).  The import is deferred because the serialization
+        module builds on this one.
+        """
+        from repro.runtime.serialization import spec_to_json
+
+        return spec_to_json(self)
+
+    @staticmethod
+    def from_json(data: dict) -> "RunSpec":
+        """Rebuild a spec serialised by :meth:`to_json`."""
+        from repro.runtime.serialization import spec_from_json
+
+        return spec_from_json(data)
+
 
 # ----------------------------------------------------------------------
 # ExecutionPolicy

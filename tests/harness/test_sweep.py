@@ -195,3 +195,60 @@ class TestCrossing:
         # The scan stops at the first crossing; trailing garbage after
         # it cannot invalidate an already-found threshold.
         assert crossing_index([0.1, 0.2, 0.3], [0.15, float("nan"), 0.1]) == 0
+
+
+def _compile_probe(circuit):
+    """Compile ``circuit`` and report the cache traffic it caused."""
+    from repro.core.compiled import compile_cache_stats, compile_circuit
+
+    before = compile_cache_stats()
+    compile_circuit(circuit)
+    after = compile_cache_stats()
+    return (
+        after["hits"] - before["hits"],
+        after["misses"] - before["misses"],
+    )
+
+
+class TestWarmCompileCache:
+    def _circuit(self):
+        from repro.core.circuit import Circuit
+
+        return Circuit(3, name="warm").cnot(0, 1).toffoli(1, 2, 0)
+
+    def test_serial_warm_makes_every_point_a_hit(self):
+        from repro.core.compiled import clear_compile_cache
+
+        circuit = self._circuit()
+        clear_compile_cache()
+        result = sweep(_compile_probe, [circuit] * 3, warm=[circuit])
+        # Warming compiled once up front; each point then hit, never
+        # compiled.
+        assert result.ys == ((1, 0), (1, 0), (1, 0))
+
+    def test_pooled_warm_makes_every_point_a_hit(self):
+        from repro.core.compiled import clear_compile_cache
+
+        circuit = self._circuit()
+        # Clear the parent cache so forked workers cannot inherit a
+        # warm one — only the pool initializer can produce the hits.
+        clear_compile_cache()
+        result = sweep(
+            _compile_probe, [circuit] * 4, parallel=2, warm=[circuit]
+        )
+        # The pool initializer warmed each worker's cache before any
+        # point ran, so no worker ever compiles — without warming, the
+        # first point in each fresh worker would be a miss.
+        assert result.ys == ((1, 0),) * 4
+
+    def test_pooled_without_warm_pays_cold_compiles(self):
+        from repro.core.compiled import clear_compile_cache
+
+        circuit = self._circuit()
+        # Forked workers inherit the parent's cache; clear it so they
+        # genuinely start cold.
+        clear_compile_cache()
+        result = sweep(_compile_probe, [circuit] * 4, parallel=2)
+        # Fresh workers, no warming: at least one point pays a cold
+        # compile miss (how many depends on scheduling).
+        assert any(misses == 1 for _, misses in result.ys)

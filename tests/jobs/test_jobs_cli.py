@@ -1,0 +1,75 @@
+"""End-to-end tests for the tools/jobs.py command line."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def jobs_cli():
+    spec = importlib.util.spec_from_file_location(
+        "tools_jobs", REPO_ROOT / "tools" / "jobs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+SWEEP = ["--points", "4", "--trials", "300", "--shard-size", "2"]
+
+
+class TestCliLifecycle:
+    def test_interrupt_resume_collect(self, tmp_path, jobs_cli, capsys):
+        job_dir = str(tmp_path / "job")
+
+        # Interrupted submit: one shard only.
+        rc = jobs_cli.main(["submit", job_dir, *SWEEP, "--max-shards", "1"])
+        assert rc == 0
+        assert "resubmit to finish" in capsys.readouterr().out
+
+        # Status of an incomplete job exits 3.
+        assert jobs_cli.main(["status", job_dir]) == 3
+        assert "1/2 shards" in capsys.readouterr().out
+
+        # Collect refuses while incomplete.
+        assert jobs_cli.main(["collect", job_dir]) == 2
+        assert "incomplete" in capsys.readouterr().err
+
+        # Resume finishes the job; status then exits 0.
+        assert jobs_cli.main(["submit", job_dir, *SWEEP]) == 0
+        capsys.readouterr()
+        assert jobs_cli.main(["status", job_dir]) == 0
+
+        # Merged table is bit-identical to a serial in-process run.
+        rc = jobs_cli.main(["collect", job_dir, "--check-serial"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical" in out
+        assert "gate_error" in out
+
+    def test_completed_resubmit_simulates_nothing(
+        self, tmp_path, jobs_cli, capsys
+    ):
+        job_dir = str(tmp_path / "job")
+        assert jobs_cli.main(["submit", job_dir, *SWEEP]) == 0
+        capsys.readouterr()
+        assert jobs_cli.main(["submit", job_dir, *SWEEP]) == 0
+        assert "0 points simulated" in capsys.readouterr().out
+
+    def test_conflicting_sweep_reported_as_error(
+        self, tmp_path, jobs_cli, capsys
+    ):
+        job_dir = str(tmp_path / "job")
+        assert jobs_cli.main(["submit", job_dir, *SWEEP]) == 0
+        capsys.readouterr()
+        rc = jobs_cli.main(
+            ["submit", job_dir, "--points", "4", "--trials", "999"]
+        )
+        assert rc == 2
+        assert "different sweep" in capsys.readouterr().err

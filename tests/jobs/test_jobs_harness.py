@@ -1,0 +1,83 @@
+"""Store-backed harness entry points stay bit-identical to plain ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.harness.sweep import spawn_seeds
+from repro.harness.threshold_finder import (
+    cycle_stage_spec,
+    find_pseudo_threshold_adaptive,
+    measure_cycle_errors,
+)
+from repro.jobs import ResultStore
+from repro.runtime import ExecutionPolicy
+
+
+@pytest.fixture
+def policy():
+    return ExecutionPolicy.from_env()
+
+
+class TestMeasureCycleErrorsStore:
+    def _points(self, count=3):
+        seeds = spawn_seeds(3, count)
+        return tuple((0.002 * (i + 1), seeds[i]) for i in range(count))
+
+    def test_stored_measurement_matches_plain(self, tmp_path, policy):
+        points = self._points()
+        plain = measure_cycle_errors(points, 400, policy=policy)
+        store = ResultStore(tmp_path)
+        first = measure_cycle_errors(points, 400, policy=policy, store=store)
+        assert first == plain
+        assert store.stats()["puts"] == len(points)
+
+    def test_repeat_measurement_is_simulation_free(self, tmp_path, policy):
+        points = self._points()
+        store = ResultStore(tmp_path)
+        first = measure_cycle_errors(points, 400, policy=policy, store=store)
+        before = store.stats()["puts"]
+        again = measure_cycle_errors(points, 400, policy=policy, store=store)
+        assert again == first
+        assert store.stats()["puts"] == before  # nothing new simulated
+        assert store.stats()["hits"] >= len(points)
+
+
+class TestAdaptiveSearchStore:
+    def _search(self, policy, store=None):
+        return find_pseudo_threshold_adaptive(
+            lower=1e-3,
+            upper=5e-2,
+            trials=2000,
+            iterations=4,
+            spec_builder=cycle_stage_spec,
+            policy=policy,
+            store=store,
+        )
+
+    def test_stored_search_matches_plain(self, tmp_path, policy):
+        plain = self._search(policy)
+        stored = self._search(policy, store=ResultStore(tmp_path))
+        assert stored == plain
+
+    def test_repeat_search_is_simulation_free(self, tmp_path, policy):
+        store = ResultStore(tmp_path)
+        first = self._search(policy, store=store)
+        puts_after_first = store.stats()["puts"]
+        again = self._search(policy, store=store)
+        assert again == first
+        assert store.stats()["puts"] == puts_after_first
+
+    def test_store_with_evaluate_form_refused(self, tmp_path):
+        def evaluate(g, n, seed):  # pragma: no cover - never called
+            return 0.0, 0
+
+        with pytest.raises(AnalysisError, match="spec_builder"):
+            find_pseudo_threshold_adaptive(
+                evaluate,
+                lower=1e-3,
+                upper=5e-2,
+                trials=100,
+                store=ResultStore(tmp_path),
+            )

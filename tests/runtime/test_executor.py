@@ -347,6 +347,13 @@ class TestExecutorSurface:
     def test_empty_run(self):
         assert Executor().run([]) == []
 
+    def test_empty_run_fast_path_under_parallel_policy(self):
+        # Regression: the empty batch returns before grouping and
+        # worker resolution — the caching executor and the shard
+        # runner routinely produce all-cached (empty) batches, which
+        # must not pay pool startup.
+        assert Executor(ExecutionPolicy(parallel=64)).run([]) == []
+
     def test_non_spec_rejected(self):
         with pytest.raises(SimulationError):
             Executor().run(["not a spec"])

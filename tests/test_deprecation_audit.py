@@ -31,3 +31,21 @@ def test_audit_flags_new_callers(tmp_path, monkeypatch):
     offender.write_text("rate, _ = logical_error_per_cycle(0.01, 100)\n")
     offenses = deprecation_audit.audit(tmp_path)
     assert offenses == ["src/thing.py:1: logical_error_per_cycle"]
+
+
+def test_audit_covers_jobs_package(tmp_path):
+    # The jobs layer is new enough that it is worth pinning: an
+    # offender planted at the same depth as src/repro/jobs must be
+    # flagged, so the audit's scan really recurses into the package.
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import deprecation_audit
+    finally:
+        sys.path.pop(0)
+    offender = tmp_path / "src" / "repro" / "jobs" / "runner.py"
+    offender.parent.mkdir(parents=True)
+    offender.write_text("p = estimate_failure_probability(circuit, 0.01)\n")
+    offenses = deprecation_audit.audit(tmp_path)
+    assert offenses == [
+        "src/repro/jobs/runner.py:1: estimate_failure_probability"
+    ]
