@@ -152,15 +152,34 @@ class _KernelSpec:
     ``(k, n_words)`` uint64 scratch block from the program's shared
     pool (``nbuf == 0`` kernels take planes only); ``source`` keeps the
     generated code for introspection and tests.
+
+    ``kind``/``meta`` describe the *built artifact* for static
+    inspection (the symbolic verifier in :mod:`repro.verify.backends`
+    interprets exactly what will execute, not the plan it came from):
+    ``"reset"`` carries ``(wires, value)``, ``"generic"`` and
+    ``"codegen"`` carry the source :class:`~repro.core.compiled.SlotGroup`
+    (codegen kernels additionally expose their index arrays through
+    ``fn.__globals__``), ``"tape"`` carries ``(wires, tape, out_pos,
+    out_reg)`` — the arrays the interpreter will actually run.
     """
 
-    __slots__ = ("fn", "nbuf", "k", "source")
+    __slots__ = ("fn", "nbuf", "k", "source", "kind", "meta")
 
-    def __init__(self, fn, nbuf: int, k: int, source: str | None = None):
+    def __init__(
+        self,
+        fn,
+        nbuf: int,
+        k: int,
+        source: str | None = None,
+        kind: str = "opaque",
+        meta: object = None,
+    ):
         self.fn = fn
         self.nbuf = nbuf
         self.k = k
         self.source = source
+        self.kind = kind
+        self.meta = meta
 
 
 def _reset_kernel(wires, value: int) -> _KernelSpec:
@@ -170,7 +189,9 @@ def _reset_kernel(wires, value: int) -> _KernelSpec:
     def kernel(planes):
         planes[rows] = fill
 
-    return _KernelSpec(kernel, 0, 1)
+    return _KernelSpec(
+        kernel, 0, 1, kind="reset", meta=(tuple(int(w) for w in wires), value)
+    )
 
 
 def _generic_kernel(group) -> _KernelSpec:
@@ -199,7 +220,7 @@ def _generic_kernel(group) -> _KernelSpec:
             else:
                 planes[wire_matrix[:, i]] = block
 
-    return _KernelSpec(kernel, 0, wire_matrix.shape[0])
+    return _KernelSpec(kernel, 0, wire_matrix.shape[0], kind="generic", meta=group)
 
 
 def _codegen_spec(group, plan: _GroupPlan) -> _KernelSpec | None:
@@ -323,7 +344,7 @@ def _codegen_spec(group, plan: _GroupPlan) -> _KernelSpec | None:
     parameters = ", ".join(["planes"] + [f"b{i}" for i in range(nbuf)])
     source = f"def kernel({parameters}):\n" + "\n".join(lines) + "\n"
     exec(source, env)  # noqa: S102 - generated from compiled programs only
-    return _KernelSpec(env["kernel"], nbuf, k, source)
+    return _KernelSpec(env["kernel"], nbuf, k, source, kind="codegen", meta=group)
 
 
 # ----------------------------------------------------------------------
@@ -451,7 +472,13 @@ def _tape_spec(group, plan: _GroupPlan, jit_kernel) -> _KernelSpec | None:
     def kernel(planes):
         jit_kernel(planes, wires, tape, out_pos, out_reg, registers, ALL_ONES)
 
-    return _KernelSpec(kernel, 0, wires.shape[0])
+    return _KernelSpec(
+        kernel,
+        0,
+        wires.shape[0],
+        kind="tape",
+        meta=(wires, tape, out_pos, out_reg),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.noise.seeds import as_generator
 
 
 def _check_epsilon(epsilon: float) -> None:
@@ -128,7 +129,7 @@ class BundleSimulator:
         return BundleSimulator(
             bundle_size=bundle_size,
             epsilon=epsilon,
-            rng=np.random.default_rng(seed),
+            rng=as_generator(seed),
         )
 
     def bundle(self, value: int, error_fraction: float = 0.0) -> np.ndarray:

@@ -1,0 +1,262 @@
+"""GF(2) polynomial algebra for symbolic circuit verification.
+
+The bit-plane lowering of :mod:`repro.core.compiled` turns every gate
+into boolean plane expressions; this module provides the *algebraic*
+counterpart — multilinear polynomials over GF(2) in algebraic normal
+form — so that circuits and their compiled programs can be compared
+**symbolically**, with no simulation and no input sampling.
+
+A polynomial is a ``frozenset`` of monomials and a monomial is a
+``frozenset`` of variable indices: XOR is symmetric difference (equal
+terms cancel in characteristic 2), AND distributes with the same
+cancellation, and the empty monomial is the constant 1.  Because the
+representation is a canonical form — multilinear, no coefficients, no
+term order — two polynomials are semantically equal *iff* the frozensets
+are equal, which is what makes equality a proof rather than a test.
+
+The table-to-ANF conversion here is deliberately **independent** of the
+Möbius butterfly in :mod:`repro.core.compiled`: it evaluates the
+subset-lattice Möbius inversion directly (coefficient of monomial ``S``
+is the XOR of the output column over all input patterns supported
+inside ``S``).  The verifier in :mod:`repro.verify` compares lowered
+programs against tables through *this* path, so a bug in the production
+lowering cannot hide by being used on both sides of the comparison.
+
+Bit conventions match the simulator: gate position 0 is the most
+significant bit of a packed pattern (see ``_input_bit`` in
+:mod:`repro.core.compiled`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import VerificationError
+
+__all__ = [
+    "ONE",
+    "Poly",
+    "ZERO",
+    "circuits_equivalent",
+    "constant",
+    "evaluate",
+    "p_and",
+    "p_not",
+    "p_or",
+    "p_xor",
+    "plane_expr_poly",
+    "substitute",
+    "symbolic_outputs",
+    "table_anf",
+    "variable",
+]
+
+Monomial = frozenset
+Poly = frozenset
+
+#: The zero polynomial: an empty XOR.
+ZERO: Poly = frozenset()
+#: The one polynomial: the empty monomial (product of no variables).
+ONE: Poly = frozenset({frozenset()})
+
+
+def variable(index: int) -> Poly:
+    """The polynomial ``x_index``."""
+    return frozenset({frozenset({index})})
+
+
+def constant(bit: int) -> Poly:
+    """The constant polynomial 0 or 1."""
+    return ONE if bit & 1 else ZERO
+
+
+def p_xor(*polys: Poly) -> Poly:
+    """XOR (sum over GF(2)): symmetric difference of monomial sets."""
+    result: frozenset = frozenset()
+    for poly in polys:
+        result = result ^ poly
+    return result
+
+
+def p_and(a: Poly, b: Poly) -> Poly:
+    """AND (product over GF(2)): distribute, cancelling equal terms."""
+    counts: dict = {}
+    for left in a:
+        for right in b:
+            merged = left | right
+            counts[merged] = counts.get(merged, 0) ^ 1
+    return frozenset(m for m, parity in counts.items() if parity)
+
+
+def p_not(a: Poly) -> Poly:
+    """Complement: XOR with the constant 1."""
+    return a ^ ONE
+
+
+def p_or(a: Poly, b: Poly) -> Poly:
+    """OR via inclusion-exclusion over GF(2): ``a ^ b ^ ab``."""
+    return p_xor(a, b, p_and(a, b))
+
+
+def evaluate(poly: Poly, bits: Sequence[int]) -> int:
+    """Evaluate ``poly`` at a concrete 0/1 assignment."""
+    value = 0
+    for monomial in poly:
+        term = 1
+        for index in monomial:
+            term &= bits[index] & 1
+        value ^= term
+    return value
+
+
+def substitute(poly: Poly, inputs: Sequence[Poly]) -> Poly:
+    """Compose: replace variable ``i`` of ``poly`` with ``inputs[i]``."""
+    result = ZERO
+    for monomial in poly:
+        term = ONE
+        for index in monomial:
+            term = p_and(term, inputs[index])
+        result = p_xor(result, term)
+    return result
+
+
+def table_anf(table: Sequence[int], arity: int) -> tuple[Poly, ...]:
+    """One ANF polynomial per output position of a permutation table.
+
+    ``table[p]`` is the packed output pattern for packed input ``p``,
+    position 0 most significant.  Implemented as the direct Möbius
+    inversion over the subset lattice (no shared code with the
+    production lowering): the coefficient of monomial ``S`` is the XOR
+    of the output bit over every input pattern whose support lies
+    inside ``S``.
+    """
+    size = 1 << arity
+    if len(table) != size:
+        raise VerificationError(
+            f"table has {len(table)} entries, expected {size} for arity {arity}"
+        )
+
+    def output_bit(pattern: int, position: int) -> int:
+        return (table[pattern] >> (arity - 1 - position)) & 1
+
+    polys = []
+    for position in range(arity):
+        monomials = set()
+        for subset in range(size):
+            coefficient = 0
+            # Iterate the sub-patterns of ``subset`` directly.
+            sub = subset
+            while True:
+                coefficient ^= output_bit(sub, position)
+                if sub == 0:
+                    break
+                sub = (sub - 1) & subset
+            if coefficient:
+                monomials.add(
+                    frozenset(
+                        i for i in range(arity)
+                        if (subset >> (arity - 1 - i)) & 1
+                    )
+                )
+        polys.append(frozenset(monomials))
+    return tuple(polys)
+
+
+def plane_expr_poly(expression: tuple, inputs: Sequence[Poly]) -> Poly:
+    """Symbolically evaluate one tagged plane expression.
+
+    Mirrors the runtime semantics of
+    :func:`repro.core.compiled.apply_plane_program` for each expression
+    form (``copy``/``affine``/``anf``/``dnf``) over polynomial inputs.
+    Malformed expressions raise :class:`~repro.errors.VerificationError`.
+    """
+    arity = len(inputs)
+    if not isinstance(expression, tuple) or not expression:
+        raise VerificationError(f"malformed plane expression: {expression!r}")
+    tag = expression[0]
+    if tag == "copy":
+        (position,) = expression[1:]
+        _check_position(position, arity, expression)
+        return inputs[position]
+    if tag == "affine":
+        invert, positions = expression[1], expression[2]
+        accumulator = constant(invert)
+        for position in positions:
+            _check_position(position, arity, expression)
+            accumulator = p_xor(accumulator, inputs[position])
+        return accumulator
+    if tag == "anf":
+        invert, monomials = expression[1], expression[2]
+        accumulator = constant(invert)
+        for monomial in monomials:
+            term = ONE
+            for position in monomial:
+                _check_position(position, arity, expression)
+                term = p_and(term, inputs[position])
+            accumulator = p_xor(accumulator, term)
+        return accumulator
+    if tag == "dnf":
+        accumulator = ZERO
+        for pattern in expression[1]:
+            if not 0 <= pattern < (1 << arity):
+                raise VerificationError(
+                    f"dnf minterm {pattern} out of range in {expression!r}"
+                )
+            term = ONE
+            for position in range(arity):
+                literal = inputs[position]
+                if not (pattern >> (arity - 1 - position)) & 1:
+                    literal = p_not(literal)
+                term = p_and(term, literal)
+            accumulator = p_or(accumulator, term)
+        return accumulator
+    raise VerificationError(f"unknown plane expression tag: {expression!r}")
+
+
+def _check_position(position: object, arity: int, expression: tuple) -> None:
+    if not isinstance(position, int) or not 0 <= position < arity:
+        raise VerificationError(
+            f"position {position!r} out of range for arity {arity} in "
+            f"plane expression {expression!r}"
+        )
+
+
+def symbolic_outputs(circuit) -> tuple[Poly, ...]:
+    """The circuit's output wires as polynomials in its input wires.
+
+    Runs the circuit gate by gate over a symbolic state whose wire ``w``
+    starts as the variable ``x_w``; gates substitute their table ANF
+    (via :func:`table_anf`, never the production lowering) and resets
+    substitute constants.  Intended for *small* circuits — peephole
+    windows, decompositions, single gates — where the composed ANF stays
+    tiny; the slot-local verifier in :mod:`repro.verify` exists so that
+    deep circuits never need this whole-circuit composition.
+    """
+    state = [variable(w) for w in range(circuit.n_wires)]
+    for op in circuit:
+        if op.is_reset:
+            for wire in op.wires:
+                state[wire] = constant(op.reset_value)
+            continue
+        gate = op.gate
+        inputs = [state[wire] for wire in op.wires]
+        outputs = [
+            substitute(poly, inputs)
+            for poly in table_anf(gate.table, gate.arity)
+        ]
+        for wire, poly in zip(op.wires, outputs):
+            state[wire] = poly
+    return tuple(state)
+
+
+def circuits_equivalent(a, b) -> bool:
+    """Whether two circuits compute identical wire functions.
+
+    Compares the canonical ANF of every output wire; equality of the
+    frozensets is an exact semantic proof over all ``2**n_wires``
+    inputs, not a sampled check.  Circuits on different wire counts are
+    never equivalent.
+    """
+    if a.n_wires != b.n_wires:
+        return False
+    return symbolic_outputs(a) == symbolic_outputs(b)

@@ -63,6 +63,19 @@ class SerializationError(ReproError):
     """
 
 
+class VerificationError(ReproError):
+    """A static-verification pass could not interpret its input.
+
+    Raised by the symbolic IR verifier (:mod:`repro.verify`) and the
+    GF(2) algebra underneath it (:mod:`repro.core.anf`) when an
+    artifact is structurally uninterpretable — a malformed plane
+    expression, a table of the wrong size, a kernel plan the symbolic
+    interpreter has no model for.  Semantic *mismatches* are not
+    exceptions: they are reported as diagnostics, so one broken slot
+    cannot hide the others.
+    """
+
+
 class JobError(ReproError):
     """A sweep job or its result store is malformed or inconsistent.
 

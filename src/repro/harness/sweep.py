@@ -18,7 +18,9 @@ point.
 :class:`numpy.random.SeedSequence`, which is how a parallel sweep keeps
 determinism: every point owns an independent, reproducible stream, and
 the engine-level frozen digests (per-point, per-seed) are untouched by
-how the points are scheduled.
+how the points are scheduled.  It lives in :mod:`repro.noise.seeds`
+(the RNG-owning layer) and is re-exported here for its historical
+callers.
 
 Monte-Carlo point functions that share a circuit are better expressed
 as :class:`~repro.runtime.RunSpec` batches through
@@ -35,10 +37,9 @@ from dataclasses import dataclass
 from functools import partial
 from math import isfinite
 
-import numpy as np
-
 from repro.core.compiled import warm_compile_cache
 from repro.errors import AnalysisError
+from repro.noise.seeds import spawn_seeds
 from repro.runtime.executor import resolve_workers
 
 __all__ = [
@@ -137,20 +138,6 @@ def sweep(
                     raise _point_error(parameter, x, exc) from exc
             ys = tuple(ys)
     return SweepResult(parameter=parameter, xs=xs, ys=ys)
-
-
-def spawn_seeds(seed: int | None, points: int) -> list[int]:
-    """``points`` independent child seeds derived from ``seed``.
-
-    Uses :meth:`numpy.random.SeedSequence.spawn`, so the children are
-    statistically independent and the derivation is deterministic: the
-    same base seed always yields the same per-point seeds, regardless
-    of whether the points later run serially or in a pool.
-    """
-    if points < 0:
-        raise AnalysisError(f"points must be >= 0, got {points}")
-    children = np.random.SeedSequence(seed).spawn(points)
-    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
 
 
 def geometric_grid(start: float, stop: float, points: int) -> list[float]:

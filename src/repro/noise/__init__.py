@@ -23,6 +23,7 @@ from repro.noise.monte_carlo import (
     repetition_failure_predicate,
     resolve_engine,
 )
+from repro.noise.seeds import as_generator, spawn_seeds
 
 __all__ = [
     "Fault",
@@ -39,7 +40,9 @@ __all__ = [
     "NoisyResult",
     "NoisyRunner",
     "any_wire_differs_predicate",
+    "as_generator",
     "estimate_failure_probability",
     "repetition_failure_predicate",
     "resolve_engine",
+    "spawn_seeds",
 ]

@@ -1,0 +1,53 @@
+"""Seed derivation and generator construction — the RNG front door.
+
+The RNG-purity lint (``RL100``, see :mod:`repro.verify.codelint.rng`)
+forbids ``np.random`` calls outside the noise layer: randomness that
+enters through one module is auditable, randomness scattered across
+the tree is not.  This module is where non-noise code comes for its
+entropy:
+
+* :func:`spawn_seeds` — independent per-point child seeds from one
+  base seed (used by sweeps and the jobs planner), via
+  :meth:`numpy.random.SeedSequence.spawn`;
+* :func:`as_generator` — the one sanctioned way to turn a seed (or an
+  existing generator) into a :class:`numpy.random.Generator`.
+
+Both are deterministic functions of their inputs, so the frozen
+engine digests are unaffected by which module calls them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["as_generator", "spawn_seeds"]
+
+
+def spawn_seeds(seed: int | None, points: int) -> list[int]:
+    """``points`` independent child seeds derived from ``seed``.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so the children are
+    statistically independent and the derivation is deterministic: the
+    same base seed always yields the same per-point seeds, regardless
+    of whether the points later run serially or in a pool.
+    """
+    if points < 0:
+        raise AnalysisError(f"points must be >= 0, got {points}")
+    children = np.random.SeedSequence(seed).spawn(points)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+def as_generator(
+    seed: int | np.random.Generator | None,
+) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` for ``seed``.
+
+    An existing generator passes through unchanged (it owns its stream
+    position); anything else is handed to
+    :func:`numpy.random.default_rng`.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -83,9 +83,18 @@ def canonical_json(payload) -> str:
 
     Sorted keys and minimal separators, so two semantically equal
     payloads produce byte-identical text (and therefore equal content
-    digests) regardless of construction order.
+    digests) regardless of construction order.  Payloads that JSON
+    cannot represent canonically (sets, arrays, arbitrary objects)
+    raise :class:`~repro.errors.SerializationError` — a set would
+    otherwise serialise in iteration order and silently destabilise
+    every digest built on top.
     """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    try:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except TypeError as exc:
+        raise SerializationError(
+            f"payload is not canonically JSON-serialisable: {exc}"
+        ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -148,9 +157,13 @@ def compress_for_hashing(payload):
         digest = _CIRCUIT_WIRE_DIGESTS.get(id(payload))
         if digest is not None:
             return {"circuit_digest": digest}
+        # Sorted so the compressed form is itself insertion-order
+        # independent; the final key bytes were already order-free
+        # (canonical_json sorts at dump time), but key computations
+        # must not iterate dicts in insertion order (RL111).
         return {
-            key: compress_for_hashing(value)
-            for key, value in payload.items()
+            key: compress_for_hashing(payload[key])
+            for key in sorted(payload)
         }
     if isinstance(payload, list):
         return [compress_for_hashing(item) for item in payload]

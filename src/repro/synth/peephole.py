@@ -15,13 +15,18 @@ fixed-point window scan with three rewrite families:
    :class:`~repro.synth.database.IdentityDatabase` is spliced out for
    that equivalent (no-op windows are deleted outright).
 
-**Verification-by-exhaustion contract.**  No rewrite is ever applied
-on faith: an inverse-pair cancellation re-checks ``b∘a = identity``
-over all ``2**arity`` patterns, and a database rewrite recomputes both
-the window's and the replacement's full actions by exhaustion and
-requires them equal — even though the database already verified its
-members.  A rewrite that fails verification raises instead of
-degrading silently.  Reset operations take part in none of this: they
+**Verification contract.**  No rewrite is ever applied on faith: an
+inverse-pair cancellation re-checks ``b∘a = identity`` over all
+``2**arity`` patterns, and a database rewrite must prove the window's
+and the replacement's actions equal — even though the database already
+verified its members.  The proof has a fast path and an authority:
+first the static ANF prover (:mod:`repro.core.anf`) compares the two
+circuits' canonical GF(2) polynomials per output wire, which is a
+complete symbolic proof at polynomial cost; only if that does not
+certify equality is the full ``2**wires`` exhaustion recomputed, and
+exhaustion remains the authority of record — a rewrite raises only
+after *both* reject it.  A rewrite that fails verification raises
+instead of degrading silently.  Reset operations take part in none of this: they
 are not permutations, so they are never moved, merged, or rewritten
 (disjoint-wire gates may still cancel *across* them, which is exact).
 
@@ -46,6 +51,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import library
+from repro.core.anf import circuits_equivalent
 from repro.core.circuit import Circuit, Operation
 from repro.core.decompositions import maj_circuit, maj_inv_circuit
 from repro.core.truth_table import circuit_permutation
@@ -65,10 +71,11 @@ MAX_WINDOW_WIRES = 6
 class OptimizationReport:
     """What :func:`optimize` did to one circuit.
 
-    ``verified_rewrites`` counts the exhaustive equivalence checks that
-    passed — by the verification contract it equals ``cancellations +
-    identity_removals + database_rewrites`` (every applied rewrite was
-    checked; nothing is applied unchecked).
+    ``verified_rewrites`` counts the equivalence proofs that passed
+    (static ANF fast path or exhaustive recheck) — by the verification
+    contract it equals ``cancellations + identity_removals +
+    database_rewrites`` (every applied rewrite was proved; nothing is
+    applied unchecked).
     """
 
     original: Circuit
@@ -165,6 +172,23 @@ def _compact_window(
     return wires, window
 
 
+def _verify_rewrite(
+    window: Circuit, replacement: Circuit, window_mapping: tuple[int, ...]
+) -> bool:
+    """Prove ``replacement``'s action equals ``window``'s.
+
+    Fast path: the static ANF prover — canonical GF(2) polynomial
+    equality per output wire, a complete symbolic proof at polynomial
+    cost in the window size.  When it certifies equality the
+    ``2**wires`` exhaustion is skipped; when it does not, exhaustion
+    runs and remains the authority of record, so a prover regression
+    can only cost time, never admit a wrong splice.
+    """
+    if circuits_equivalent(window, replacement):
+        return True
+    return circuit_permutation(replacement).mapping == window_mapping
+
+
 def _window_pass(
     ops: list[Operation],
     database: IdentityDatabase,
@@ -189,12 +213,12 @@ def _window_pass(
                 continue  # replacement would spill past the window's wires
             if cost_model.cost(replacement) >= cost_model.cost(window):
                 continue
-            # The exhaustive-equivalence contract: recompute both
-            # actions from scratch and require equality before
-            # splicing, independent of what the database recorded.
-            if circuit_permutation(replacement).mapping != mapping:
+            # The verification contract: prove both actions equal
+            # before splicing, independent of what the database
+            # recorded — static ANF first, exhaustion as authority.
+            if not _verify_rewrite(window, replacement, mapping):
                 raise SynthesisError(
-                    "database rewrite failed exhaustive verification; "
+                    "database rewrite failed equivalence verification; "
                     "refusing to splice"
                 )  # pragma: no cover - database verifies on every entry path
             verified += 1

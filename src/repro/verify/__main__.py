@@ -1,0 +1,94 @@
+"""``python -m repro.verify`` — the CI symbolic-verification entry point.
+
+Runs the full IR verification stack over the circuit corpus
+(:mod:`repro.verify.corpus`): well-formedness and parity classification
+per circuit, compiled-program equivalence under both fusion modes, and
+prepared-program equivalence for every registered backend.  No
+simulation happens anywhere in this process.
+
+Exit codes follow the shared contract of
+:mod:`repro.verify.diagnostics`: 0 clean, 1 when any error-severity
+diagnostic fired, 2 for driver failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.backends.registry import available_backends, get_backend
+from repro.core.compiled import compile_circuit
+from repro.verify.backends import verify_prepared
+from repro.verify.corpus import corpus
+from repro.verify.diagnostics import (
+    EXIT_DRIVER_ERROR,
+    DiagnosticReport,
+    Severity,
+)
+from repro.verify.ir import verify_circuit
+from repro.verify.program import verify_compiled
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Symbolically verify the circuit corpus (no simulation).",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        help="backend(s) to verify prepared programs for "
+        "(default: every registered backend)",
+    )
+    parser.add_argument(
+        "--notes",
+        action="store_true",
+        help="include RV020 parity-classification notes in the text output",
+    )
+    arguments = parser.parse_args(argv)
+
+    backend_names = arguments.backend or list(available_backends())
+    try:
+        backends = [get_backend(name) for name in backend_names]
+    except Exception as exc:
+        print(f"driver error: {exc}", file=sys.stderr)
+        return EXIT_DRIVER_ERROR
+
+    report = DiagnosticReport()
+    checked = 0
+    for _name, circuit in corpus():
+        well_formed = DiagnosticReport()
+        verify_circuit(circuit, report=well_formed)
+        report.extend(well_formed)
+        if not well_formed.ok:
+            continue
+        for fuse in (True, False):
+            compiled = compile_circuit(circuit, fuse=fuse)
+            verify_compiled(
+                circuit, compiled, report=report, check_circuit=False
+            )
+            for backend in backends:
+                verify_prepared(circuit, backend, compiled, report=report)
+        checked += 1
+
+    if arguments.json:
+        print(report.render_json())
+    else:
+        for diagnostic in report.diagnostics:
+            if diagnostic.severity is Severity.NOTE and not arguments.notes:
+                continue
+            print(diagnostic)
+        status = "clean" if report.ok else f"{len(report.errors)} error(s)"
+        print(
+            f"verified {checked} corpus circuits under both fusion modes "
+            f"and backends {', '.join(backend_names)}: {status}"
+        )
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,441 @@
+"""Symbolic verification of backend *prepared programs*.
+
+The compiled-program verifier (:mod:`repro.verify.program`) proves the
+slot schedule equivalent to the circuit; this module closes the last
+gap — the per-backend executables built *from* that schedule.  Each
+registered prepared-program type has a verifier that symbolically
+interprets **the artifact that will actually execute** and compares
+every slot's transfer function against the circuit's own ops:
+
+* :class:`~repro.backends.numpy_backend.NumpyProgram` executes
+  ``prepared.compiled.slots`` directly, so its verifier symbolically
+  runs those slots (through the engines' stacked semantics);
+* :class:`~repro.backends.fused.FusedProgram` is verified kernel by
+  kernel from each :class:`~repro.backends.fused._KernelSpec`'s
+  ``kind``/``meta``: reset kernels assign constants, generic kernels
+  replay the stacked apply, **codegen kernels are AST-interpreted from
+  their generated source** (resolving the real ``_idx*`` index arrays
+  out of the kernel's globals, and modelling view aliasing exactly:
+  sliced gathers read through to the planes at use time, fancy gathers
+  are owned copies), and tape kernels are interpreted from the actual
+  ``(wires, tape, out_pos, out_reg)`` arrays the JIT loop will run.
+
+The dispatch table :data:`PROGRAM_VERIFIERS` is public so a
+conformance-style guard can assert every registered backend's prepared
+type is covered — a backend added without a verifier fails the guard,
+not silently escapes verification (``RV400``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.backends.fused import (
+    _OP_AND,
+    _OP_COPY,
+    _OP_NOT,
+    _OP_XOR,
+    FusedProgram,
+)
+from repro.backends.numpy_backend import NumpyProgram
+from repro.core.anf import constant, p_and, p_not, p_xor, variable
+from repro.core.compiled import compile_circuit
+from repro.errors import VerificationError
+from repro.verify.diagnostics import DiagnosticReport
+from repro.verify.ir import circuit_label
+from repro.verify.program import (
+    apply_group_symbolic,
+    apply_ops_symbolic,
+    apply_slot_symbolic,
+    slot_op_partition,
+)
+
+__all__ = [
+    "PROGRAM_VERIFIERS",
+    "verifier_for",
+    "verify_prepared",
+]
+
+
+# ----------------------------------------------------------------------
+# Kernel interpreters (fused backend)
+# ----------------------------------------------------------------------
+
+
+def _interpret_reset_kernel(polys: list, meta) -> None:
+    wires, value = meta
+    for wire in wires:
+        polys[int(wire)] = constant(value)
+
+
+def _interpret_tape_kernel(polys: list, meta) -> None:
+    wires, tape, out_pos, out_reg = meta
+    k, arity = wires.shape
+    for row in range(k):
+        registers: dict[int, frozenset] = {
+            i: polys[int(wires[row, i])] for i in range(arity)
+        }
+
+        def load(register: int) -> frozenset:
+            if register not in registers:
+                raise VerificationError(
+                    f"tape reads register {register} before any write"
+                )
+            return registers[register]
+
+        for step in range(tape.shape[0]):
+            op, a, b, d = (int(v) for v in tape[step])
+            if op == _OP_AND:
+                registers[d] = p_and(load(a), load(b))
+            elif op == _OP_XOR:
+                registers[d] = p_xor(load(a), load(b))
+            elif op == _OP_NOT:
+                registers[d] = p_not(load(a))
+            elif op == _OP_COPY:
+                registers[d] = load(a)
+            else:
+                raise VerificationError(f"unknown tape opcode {op}")
+        for o in range(out_pos.shape[0]):
+            polys[int(wires[row, int(out_pos[o])])] = load(int(out_reg[o]))
+
+
+class _CodegenInterpreter:
+    """AST interpreter for one generated NumPy kernel over polynomials.
+
+    Names bind to either a *view* (a list of plane indices — reads go
+    through to the symbolic planes at use time, writes scatter back,
+    exactly like a NumPy basic-slice view) or an *owned* vector of
+    polynomials (fancy-indexed gathers and scratch buffers).  Every
+    statement shape outside the generator's repertoire raises
+    :class:`~repro.errors.VerificationError` — an unmodellable kernel
+    must fail verification, never be skipped.
+    """
+
+    def __init__(self, polys: list, spec):
+        self.polys = polys
+        self.spec = spec
+        self.globals = spec.fn.__globals__
+        self.bindings: dict[str, tuple[str, list]] = {}
+
+    def run(self) -> None:
+        tree = ast.parse(self.spec.source)
+        if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+            raise VerificationError("kernel source is not a single function")
+        function = tree.body[0]
+        parameters = [argument.arg for argument in function.args.args]
+        if not parameters or parameters[0] != "planes":
+            raise VerificationError(
+                f"kernel parameters {parameters} do not start with 'planes'"
+            )
+        for name in parameters[1:]:
+            self.bindings[name] = ("owned", [None] * self.spec.k)
+        for statement in function.body:
+            self._execute(statement)
+
+    # -- statement forms ----------------------------------------------
+
+    def _execute(self, statement: ast.stmt) -> None:
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            target = statement.targets[0]
+            if isinstance(target, ast.Name):
+                self._assign_name(target.id, statement.value)
+                return
+            if isinstance(target, ast.Subscript):
+                self._assign_scatter(target, statement.value)
+                return
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Call
+        ):
+            self._call(statement.value)
+            return
+        raise VerificationError(
+            f"unsupported kernel statement: {ast.dump(statement)[:120]}"
+        )
+
+    def _assign_name(self, name: str, value: ast.expr) -> None:
+        # x{i} = planes[<slice>]  |  x{i} = planes[_idx{i}]
+        if not (
+            isinstance(value, ast.Subscript)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "planes"
+        ):
+            raise VerificationError(
+                f"unsupported gather into {name}: {ast.dump(value)[:120]}"
+            )
+        index = value.slice
+        if isinstance(index, ast.Slice):
+            self.bindings[name] = ("view", self._slice_indices(index))
+            return
+        if isinstance(index, ast.Name):
+            indices = self._index_array(index.id)
+            self.bindings[name] = (
+                "owned",
+                [self.polys[i] for i in indices],
+            )
+            return
+        raise VerificationError(
+            f"unsupported planes subscript: {ast.dump(index)[:120]}"
+        )
+
+    def _assign_scatter(self, target: ast.Subscript, value: ast.expr) -> None:
+        # planes[_idx{i}] = <name>
+        if not (
+            isinstance(target.value, ast.Name)
+            and target.value.id == "planes"
+            and isinstance(target.slice, ast.Name)
+            and isinstance(value, ast.Name)
+        ):
+            raise VerificationError(
+                f"unsupported scatter: {ast.dump(target)[:120]}"
+            )
+        indices = self._index_array(target.slice.id)
+        values = self._read(value.id)
+        if len(values) != len(indices):
+            raise VerificationError(
+                f"scatter of {len(values)} rows into {len(indices)} planes"
+            )
+        for index, poly in zip(indices, values):
+            self.polys[index] = poly
+
+    def _call(self, call: ast.Call) -> None:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "np"
+        ):
+            raise VerificationError(
+                f"unsupported kernel call: {ast.dump(call)[:120]}"
+            )
+        operation = call.func.attr
+        if operation == "copyto":
+            destination, source = (self._name(a) for a in call.args)
+            self._write(destination, self._read(source))
+            return
+        out = None
+        for keyword in call.keywords:
+            if keyword.arg == "out" and isinstance(keyword.value, ast.Name):
+                out = keyword.value.id
+        if out is None:
+            raise VerificationError(f"kernel call without out=: {operation}")
+        operands = [self._read(self._name(a)) for a in call.args]
+        if operation == "bitwise_and" and len(operands) == 2:
+            result = [p_and(a, b) for a, b in zip(*operands)]
+        elif operation == "bitwise_xor" and len(operands) == 2:
+            result = [p_xor(a, b) for a, b in zip(*operands)]
+        elif operation == "bitwise_not" and len(operands) == 1:
+            result = [p_not(a) for a in operands[0]]
+        else:
+            raise VerificationError(
+                f"unsupported kernel operation np.{operation} with "
+                f"{len(operands)} operands"
+            )
+        self._write(out, result)
+
+    # -- name/value plumbing ------------------------------------------
+
+    @staticmethod
+    def _name(node: ast.expr) -> str:
+        if not isinstance(node, ast.Name):
+            raise VerificationError(
+                f"expected a name operand, found {ast.dump(node)[:80]}"
+            )
+        return node.id
+
+    def _slice_indices(self, node: ast.Slice) -> list[int]:
+        def literal(part, default):
+            if part is None:
+                return default
+            if isinstance(part, ast.Constant) and isinstance(part.value, int):
+                return part.value
+            raise VerificationError(
+                f"non-literal slice bound: {ast.dump(part)[:80]}"
+            )
+
+        start = literal(node.lower, 0)
+        stop = literal(node.upper, None)
+        step = literal(node.step, 1)
+        if stop is None or step <= 0:
+            raise VerificationError(f"unsupported slice {start}:{stop}:{step}")
+        return list(range(start, stop, step))
+
+    def _index_array(self, name: str) -> list[int]:
+        array = self.globals.get(name)
+        if array is None:
+            raise VerificationError(
+                f"kernel references unknown index array {name!r}"
+            )
+        return [int(value) for value in array]
+
+    def _read(self, name: str) -> list:
+        binding = self.bindings.get(name)
+        if binding is None:
+            raise VerificationError(f"kernel reads unbound name {name!r}")
+        kind, payload = binding
+        if kind == "view":
+            return [self.polys[index] for index in payload]
+        if any(value is None for value in payload):
+            raise VerificationError(
+                f"kernel reads scratch {name!r} before writing it"
+            )
+        return list(payload)
+
+    def _write(self, name: str, values: list) -> None:
+        binding = self.bindings.get(name)
+        if binding is None:
+            raise VerificationError(f"kernel writes unbound name {name!r}")
+        kind, payload = binding
+        if kind == "view":
+            if len(values) != len(payload):
+                raise VerificationError(
+                    f"write of {len(values)} rows into a {len(payload)}-row "
+                    f"view {name!r}"
+                )
+            for index, poly in zip(payload, values):
+                self.polys[index] = poly
+        else:
+            self.bindings[name] = ("owned", list(values))
+
+
+def _interpret_fused_slot(polys: list, specs) -> None:
+    for spec in specs:
+        if spec.kind == "reset":
+            _interpret_reset_kernel(polys, spec.meta)
+        elif spec.kind == "generic":
+            apply_group_symbolic(polys, spec.meta)
+        elif spec.kind == "codegen":
+            _CodegenInterpreter(polys, spec).run()
+        elif spec.kind == "tape":
+            _interpret_tape_kernel(polys, spec.meta)
+        else:
+            raise VerificationError(f"unknown kernel kind {spec.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Per-type verifiers and the dispatch table
+# ----------------------------------------------------------------------
+
+
+def _slot_reference(circuit, compiled, report, label) -> list | None:
+    """Per-slot circuit op spans, or ``None`` when they cannot align."""
+    spans = slot_op_partition(compiled)
+    total = spans[-1][1] if spans else 0
+    if total != len(circuit.ops):
+        report.error(
+            "RV200",
+            label,
+            f"slots cover {total} ops, circuit has {len(circuit.ops)} — "
+            f"prepared program cannot be aligned for verification",
+        )
+        return None
+    return [circuit.ops[start:stop] for start, stop in spans]
+
+
+def _compare_slot(polys, ops, n_wires, where, report) -> None:
+    reference = [variable(w) for w in range(n_wires)]
+    apply_ops_symbolic(reference, ops)
+    mismatched = [w for w in range(n_wires) if polys[w] != reference[w]]
+    if mismatched:
+        report.error(
+            "RV401",
+            where,
+            f"prepared slot computes a different function on wires "
+            f"{mismatched}",
+        )
+
+
+def _verify_numpy_program(prepared, circuit, label, report) -> None:
+    compiled = prepared.compiled
+    spans = _slot_reference(circuit, compiled, report, label)
+    if spans is None:
+        return
+    for index, (slot, ops) in enumerate(zip(compiled.slots, spans)):
+        where = f"{label} numpy slot {index}"
+        polys = [variable(w) for w in range(compiled.n_wires)]
+        try:
+            apply_slot_symbolic(polys, slot)
+        except VerificationError as exc:
+            report.error("RV402", where, str(exc))
+            continue
+        _compare_slot(polys, ops, compiled.n_wires, where, report)
+
+
+def _verify_fused_program(prepared, circuit, label, report) -> None:
+    compiled = prepared.compiled
+    spans = _slot_reference(circuit, compiled, report, label)
+    if spans is None:
+        return
+    if len(prepared._specs) != len(compiled.slots):
+        report.error(
+            "RV401",
+            label,
+            f"fused program has {len(prepared._specs)} slot chains for "
+            f"{len(compiled.slots)} slots",
+        )
+        return
+    for index, (specs, ops) in enumerate(zip(prepared._specs, spans)):
+        where = f"{label} fused slot {index}"
+        polys = [variable(w) for w in range(compiled.n_wires)]
+        try:
+            _interpret_fused_slot(polys, specs)
+        except VerificationError as exc:
+            report.error("RV402", where, str(exc))
+            continue
+        _compare_slot(polys, ops, compiled.n_wires, where, report)
+
+
+#: Prepared-program type -> verifier.  Public so the conformance-style
+#: guard in the tests can assert every registered backend's prepared
+#: type is covered.
+PROGRAM_VERIFIERS = {
+    NumpyProgram: _verify_numpy_program,
+    FusedProgram: _verify_fused_program,
+}
+
+
+def verifier_for(prepared):
+    """The registered verifier for a prepared program, or ``None``.
+
+    Exact-type lookup first, then subclass match — a backend subclassing
+    :class:`FusedProgram` without changing the artifact shape inherits
+    its verifier.
+    """
+    verifier = PROGRAM_VERIFIERS.get(type(prepared))
+    if verifier is not None:
+        return verifier
+    for registered, candidate in PROGRAM_VERIFIERS.items():
+        if isinstance(prepared, registered):
+            return candidate
+    return None
+
+
+def verify_prepared(
+    circuit,
+    backend,
+    compiled=None,
+    *,
+    report: DiagnosticReport | None = None,
+) -> DiagnosticReport:
+    """Prove one backend's prepared program equivalent to the circuit.
+
+    Prepares ``compiled`` (default: the production compile of
+    ``circuit``) through ``backend`` and dispatches on the prepared
+    type via :data:`PROGRAM_VERIFIERS`; an uncovered type is an
+    ``RV400`` error — unverifiable is a failure, not a pass.
+    """
+    if report is None:
+        report = DiagnosticReport()
+    label = f"{circuit_label(circuit)} [{backend.name}]"
+    if compiled is None:
+        compiled = compile_circuit(circuit)
+    prepared = backend.prepare(compiled)
+    verifier = verifier_for(prepared)
+    if verifier is None:
+        report.error(
+            "RV400",
+            label,
+            f"prepared program type {type(prepared).__name__} has no "
+            f"registered verifier",
+        )
+        return report
+    verifier(prepared, circuit, label, report)
+    return report

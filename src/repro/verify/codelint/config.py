@@ -1,0 +1,159 @@
+"""The enforced-by-tooling half of this repository's conventions.
+
+Everything here was previously prose — docstrings saying "the noise
+layer owns all randomness", comments saying "deferred jobs import
+keeps layering acyclic" — and is now data consumed by the lint passes
+in this package.  Changing a rule means changing this file, in review,
+not quietly drifting.
+"""
+
+from __future__ import annotations
+
+#: The import-layering DAG over the top-level packages/modules of
+#: ``repro``.  A module may import (at module level) only packages on a
+#: strictly lower layer, or its own package; upward imports must be
+#: deferred (inside a function) *and* listed in
+#: :data:`DEFERRED_ALLOWLIST`.  ``repro/__init__.py`` is the root
+#: re-export surface and may import anything.
+LAYERS: dict[str, int] = {
+    "errors": 0,
+    "_version": 0,
+    "core": 1,
+    "coding": 2,
+    "local": 2,
+    "analysis": 2,
+    "backends": 3,
+    "noise": 4,
+    "runtime": 5,
+    "baselines": 6,
+    "synth": 6,
+    "harness": 7,
+    "jobs": 8,
+    "report": 9,
+    "verify": 9,
+}
+
+#: Documented deferred upward imports: ``(file, target package)``.
+#: Each is a function-local import whose comment in the source explains
+#: why the edge must exist (cycle-breaking, deprecation shims); the
+#: lint holds this list closed — a new upward import fails ``RL201``
+#: until it is argued into this allowlist in review.
+DEFERRED_ALLOWLIST: frozenset[tuple[str, str]] = frozenset(
+    {
+        # BitplaneState.run_via_backend resolves the configured backend;
+        # backends import core for the plane-store types.
+        ("src/repro/core/bitplane.py", "backends"),
+        # The measure_cycle_errors deprecation shim re-routes to the
+        # runtime executor; runtime imports the noise engines.
+        ("src/repro/noise/monte_carlo.py", "runtime"),
+        # The threshold finder optionally wraps its executor in the
+        # jobs-layer caching executor; jobs imports harness.stats.
+        ("src/repro/harness/threshold_finder.py", "jobs"),
+    }
+)
+
+#: Module prefixes whose *calls* are forbidden outside the noise layer:
+#: randomness and wall-clock reads are result-affecting unless they
+#: flow through the seeded noise layer.
+IMPURE_CALL_PREFIXES: tuple[str, ...] = (
+    "numpy.random",
+    "random",
+    "time",
+    "datetime",
+)
+
+#: Directory prefix whose files own randomness: every RNG construction
+#: and seed derivation lives here (``repro.noise.seeds`` is the only
+#: place ``numpy.random`` is constructed from a bare seed).
+RNG_OWNING_PREFIX = "src/repro/noise/"
+
+#: Files outside the noise layer allowed specific impure calls, with
+#: the documented reason.  Wall-clock timing that only decorates
+#: *display* output is allowed; anything feeding a number or a key is
+#: not.
+RNG_ALLOWED_FILES: dict[str, str] = {
+    # Per-experiment wall-clock shown in the report footer; the timing
+    # never reaches a stored result or a digest.
+    "src/repro/report.py": "display-only wall-clock timing",
+}
+
+#: Functions that compute content keys, hashes, or canonical wire
+#: forms.  Inside these, iteration order must be deterministic: no set
+#: iteration, no unsorted ``.items()``/``.keys()``/``.values()``, no
+#: ``json.dumps`` without ``sort_keys=True``.
+KEY_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "content_key",
+        "content_digest",
+        "point_key",
+        "_key_from_wire",
+        "_shard_id",
+        "compress_for_hashing",
+        "canonical_json",
+        "prepare_key",
+    }
+)
+
+#: Builtin exceptions that must never be raised bare from ``src/repro``
+#: — the typed :mod:`repro.errors` hierarchy is the public contract.
+#: ``NotImplementedError`` is excluded: abstract-method bodies raise it
+#: by convention.
+FORBIDDEN_RAISES: frozenset[str] = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "BaseException",
+        "Exception",
+        "IndexError",
+        "IOError",
+        "KeyError",
+        "LookupError",
+        "OSError",
+        "RuntimeError",
+        "StopIteration",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: Deprecated entry points whose spread the deprecation pass freezes
+#: (folded in from ``tools/deprecation_audit.py``).  The PR 3 API
+#: redesign left the first two behind as shims over
+#: :mod:`repro.runtime`; ``circuit_cache_key`` was superseded by
+#: ``Circuit.content_key()`` in PR 5.
+DEPRECATED_NAMES: tuple[str, ...] = (
+    "estimate_failure_probability",
+    "logical_error_per_cycle",
+    "circuit_cache_key",
+)
+
+#: Directories the deprecation pass scans (relative to the repo root).
+DEPRECATION_SCANNED: tuple[str, ...] = (
+    "src",
+    "examples",
+    "benchmarks",
+    "tests",
+    "tools",
+)
+
+#: Files allowed to reference the deprecated names: the shim
+#: definitions, their re-exporting ``__init__`` files, the tests
+#: pinning shim behaviour, the audit entry points, and this config.
+DEPRECATION_ALLOWED: frozenset[str] = frozenset(
+    {
+        "src/repro/noise/monte_carlo.py",
+        "src/repro/noise/__init__.py",
+        "src/repro/harness/threshold_finder.py",
+        "src/repro/harness/__init__.py",
+        "src/repro/verify/codelint/config.py",
+        "tests/noise/test_monte_carlo.py",
+        "tests/harness/test_threshold_finder.py",
+        "tests/runtime/test_executor.py",
+        "tests/test_deprecation_audit.py",
+        "tests/verify/test_codelint.py",
+        "tests/verify/test_lint_driver.py",
+        "tools/deprecation_audit.py",
+        "tools/lint.py",
+    }
+)

@@ -1,0 +1,63 @@
+"""The deprecation audit, folded in as a lint pass (``RL400``).
+
+Previously a free-standing script (``tools/deprecation_audit.py``, kept
+as a shim over this module): repo-internal code outside the shims and
+their tests must not reference the entry points retired by the PR 3
+API redesign and the PR 5 key unification.  Unlike the AST passes this
+one is a plain text scan over *all* scanned directories (examples,
+benchmarks, tests, tools included) — a docstring telling users to call
+a dead API is as much a violation as code calling it.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.verify.codelint.config import (
+    DEPRECATED_NAMES,
+    DEPRECATION_ALLOWED,
+    DEPRECATION_SCANNED,
+)
+from repro.verify.diagnostics import DiagnosticReport
+
+__all__ = ["audit", "run"]
+
+_PATTERN = re.compile("|".join(re.escape(name) for name in DEPRECATED_NAMES))
+
+
+def audit(root: Path) -> list[str]:
+    """Every disallowed ``file:line: match`` reference under ``root``.
+
+    The exact output contract of the original
+    ``tools.deprecation_audit.audit`` — the shim delegates here and the
+    shim's tests pin the format.
+    """
+    offenses: list[str] = []
+    for directory in DEPRECATION_SCANNED:
+        base = Path(root) / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            relative = path.relative_to(root).as_posix()
+            if relative in DEPRECATION_ALLOWED:
+                continue
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                match = _PATTERN.search(line)
+                if match:
+                    offenses.append(f"{relative}:{number}: {match.group(0)}")
+    return offenses
+
+
+def run(root, files, report: DiagnosticReport) -> None:
+    """The deprecation pass: one ``RL400`` per offending reference."""
+    for offense in audit(Path(root)):
+        location, _, name = offense.rpartition(": ")
+        report.error(
+            "RL400",
+            location,
+            f"reference to deprecated entry point {name!r} — use the "
+            f"repro.runtime API / Circuit.content_key()",
+        )

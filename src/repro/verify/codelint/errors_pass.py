@@ -1,0 +1,84 @@
+"""Error-discipline lint: typed exceptions only on public paths.
+
+``RL300`` — a bare builtin exception (``ValueError``, ``RuntimeError``,
+...) raised from ``src/repro``.  The typed hierarchy in
+:mod:`repro.errors` is the public contract — "callers can catch library
+failures without also catching unrelated built-in exceptions" — and a
+single bare ``ValueError`` on a public path breaks that promise.
+``NotImplementedError`` is exempt (abstract-method convention), as are
+re-raises (``raise`` with no expression) and anything not named after a
+forbidden builtin (the :mod:`repro.errors` types themselves).
+
+``RL301`` — ``assert`` used for validation.  Asserts vanish under
+``python -O``, so they must never guard user input or invariants that
+can actually fail; the one sanctioned pattern is type-narrowing
+(``assert op.gate is not None``, possibly conjoined with ``and``),
+which exists for the benefit of the type checker on paths the
+surrounding logic already guarantees.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.verify.codelint.config import FORBIDDEN_RAISES
+from repro.verify.diagnostics import DiagnosticReport
+
+__all__ = ["run"]
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The bare name a raise targets, or ``None`` (qualified/re-raise)."""
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _is_narrowing_compare(test: ast.expr) -> bool:
+    return (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    )
+
+
+def _is_narrowing_assert(node: ast.Assert) -> bool:
+    test = node.test
+    if _is_narrowing_compare(test):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return all(_is_narrowing_compare(value) for value in test.values)
+    return False
+
+
+def run(root, files, report: DiagnosticReport) -> None:
+    """The error-discipline pass over ``files``."""
+    for source in files:
+        if source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name in FORBIDDEN_RAISES:
+                    report.error(
+                        "RL300",
+                        f"{source.relpath}:{node.lineno}",
+                        f"bare {name} raised — raise a typed repro.errors "
+                        f"exception instead",
+                    )
+            elif isinstance(node, ast.Assert):
+                if not _is_narrowing_assert(node):
+                    report.error(
+                        "RL301",
+                        f"{source.relpath}:{node.lineno}",
+                        "assert used for validation — only `is not None` "
+                        "type-narrowing asserts are allowed in src/repro",
+                    )

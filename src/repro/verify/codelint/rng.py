@@ -1,0 +1,172 @@
+"""RNG/clock purity and key-computation determinism lints.
+
+``RL100`` — calls into ``numpy.random``/``random``/``time``/``datetime``
+anywhere outside the noise layer.  Every published number in this
+repository is a function of an explicit seed; a stray
+``np.random.default_rng()`` or ``time.time()`` on a result path is a
+reproducibility bug even when tests happen to pass.  Calls are resolved
+through the module's import aliases (``import numpy as np`` makes
+``np.random.default_rng(...)`` a ``numpy.random`` call), so renaming an
+import cannot dodge the lint; bare attribute *references* (type
+annotations, ``isinstance(x, np.random.Generator)``) are not calls and
+are allowed.
+
+``RL110``/``RL111``/``RL112`` — iteration-order hazards inside the key
+functions of :data:`~repro.verify.codelint.config.KEY_FUNCTIONS`: set
+iteration, unsorted ``.items()``/``.keys()``/``.values()`` loops, and
+``json.dumps`` without ``sort_keys=True``.  Python dicts iterate in
+insertion order, so an unsorted iteration bakes *construction history*
+into bytes that are supposed to be content-determined.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.verify.codelint.config import (
+    IMPURE_CALL_PREFIXES,
+    KEY_FUNCTIONS,
+    RNG_ALLOWED_FILES,
+    RNG_OWNING_PREFIX,
+)
+from repro.verify.diagnostics import DiagnosticReport
+
+__all__ = ["run"]
+
+
+def _import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted module/attribute they stand for."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                target = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _resolve_call_path(func: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The dotted path a call target resolves to, or ``None``."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _is_impure(path: str) -> bool:
+    for prefix in IMPURE_CALL_PREFIXES:
+        if path == prefix or path.startswith(prefix + "."):
+            return True
+    return False
+
+
+def _check_purity(source, report: DiagnosticReport) -> None:
+    if source.relpath.startswith(RNG_OWNING_PREFIX):
+        return
+    if source.relpath in RNG_ALLOWED_FILES:
+        return
+    aliases = _import_aliases(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = _resolve_call_path(node.func, aliases)
+        if path is not None and _is_impure(path):
+            report.error(
+                "RL100",
+                f"{source.relpath}:{node.lineno}",
+                f"call to {path}() outside the noise layer — route "
+                f"randomness/clock reads through repro.noise",
+            )
+
+
+def _iteration_sites(function: ast.FunctionDef):
+    """``(iter_node, lineno)`` for every for-loop and comprehension."""
+    for node in ast.walk(function):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node.lineno
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for generator in node.generators:
+                yield generator.iter, node.lineno
+
+
+def _check_key_function(source, function: ast.FunctionDef, report) -> None:
+    where = f"{source.relpath}:{function.lineno}"
+    for iter_node, lineno in _iteration_sites(function):
+        site = f"{source.relpath}:{lineno}"
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            report.error(
+                "RL110",
+                site,
+                f"set iteration inside key function {function.name!r} — "
+                f"set order is hash-seed dependent",
+            )
+        elif isinstance(iter_node, ast.Call) and isinstance(
+            iter_node.func, ast.Name
+        ):
+            if iter_node.func.id in ("set", "frozenset"):
+                report.error(
+                    "RL110",
+                    site,
+                    f"set iteration inside key function {function.name!r}",
+                )
+        elif isinstance(iter_node, ast.Call) and isinstance(
+            iter_node.func, ast.Attribute
+        ):
+            if iter_node.func.attr in ("items", "keys", "values"):
+                report.error(
+                    "RL111",
+                    site,
+                    f"unsorted .{iter_node.func.attr}() iteration inside key "
+                    f"function {function.name!r} — wrap in sorted(...)",
+                )
+    for node in ast.walk(function):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "dumps"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "json"
+        ):
+            continue
+        sorts = any(
+            keyword.arg == "sort_keys"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in node.keywords
+        )
+        if not sorts:
+            report.error(
+                "RL112",
+                f"{source.relpath}:{node.lineno}",
+                f"json.dumps without sort_keys=True inside key function "
+                f"{function.name!r} (declared at {where})",
+            )
+
+
+def run(root, files, report: DiagnosticReport) -> None:
+    """The RNG-purity and key-hazard passes over ``files``."""
+    for source in files:
+        if source.tree is None:
+            continue
+        _check_purity(source, report)
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name in KEY_FUNCTIONS
+            ):
+                _check_key_function(source, node, report)

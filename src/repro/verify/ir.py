@@ -1,0 +1,161 @@
+"""Circuit well-formedness checks and the parity classifier.
+
+Everything here is checked from first principles over the raw gate
+tables and operation lists — deliberately *not* trusting the
+construction-time validation in :mod:`repro.core.circuit` and
+:mod:`repro.core.gate`, because the corruption paths this verifier
+exists to catch (mutated ``_ops`` lists, forged frozen dataclasses,
+deserialized artifacts) bypass ``__post_init__`` entirely.
+
+The parity classifier implements the invariant observation of Alves'
+"Detecting Errors in Reversible Circuits With Invariant Relationships":
+a gate whose table permutes bits **conserves** Hamming weight, one that
+merely keeps the XOR of all bits fixed **preserves** parity, and
+anything else **mixes** parity.  Weight-conserving gates (SWAP,
+FREDKIN, the SWAP3 rotations) admit the zero-tolerance runtime oracles
+of ``tests/core/test_engine_invariants.py``; the classification is
+emitted as an ``RV020`` note per distinct gate so reports double as a
+statically-derived invariant inventory.
+"""
+
+from __future__ import annotations
+
+from repro.verify.diagnostics import DiagnosticReport
+
+__all__ = [
+    "check_gate",
+    "circuit_label",
+    "classify_parity",
+    "verify_circuit",
+]
+
+
+def circuit_label(circuit) -> str:
+    """A stable human-readable location prefix for a circuit."""
+    name = getattr(circuit, "name", "")
+    if name:
+        return f"circuit {name!r}"
+    return f"circuit <{circuit.n_wires} wires>"
+
+
+def check_gate(gate, location: str, report: DiagnosticReport) -> bool:
+    """Structural checks on one gate table; True when the gate is sound."""
+    sound = True
+    arity = gate.arity
+    if not isinstance(arity, int) or arity < 1:
+        report.error(
+            "RV003", location, f"gate arity must be >= 1, found {arity!r}"
+        )
+        return False
+    size = 1 << arity
+    table = gate.table
+    if len(table) != size:
+        report.error(
+            "RV002",
+            location,
+            f"table has {len(table)} entries, expected {size} for "
+            f"arity {arity}",
+        )
+        return False
+    if sorted(table) != list(range(size)):
+        missing = sorted(set(range(size)) - set(table))
+        report.error(
+            "RV001",
+            location,
+            f"table is not a permutation of 0..{size - 1} "
+            f"(missing outputs: {missing})",
+        )
+        sound = False
+    return sound
+
+
+def classify_parity(gate) -> str:
+    """``conserving`` | ``preserving`` | ``mixing`` for a sound gate.
+
+    * ``conserving`` — every row keeps the Hamming weight (the gate is
+      a permutation of wire values: SWAP-like);
+    * ``preserving`` — every row keeps the XOR of all bits, but some
+      row changes the weight;
+    * ``mixing`` — some row changes the overall parity (MAJ, CNOT, X).
+    """
+    conserving = True
+    preserving = True
+    for pattern, image in enumerate(gate.table):
+        if pattern.bit_count() != image.bit_count():
+            conserving = False
+        if (pattern.bit_count() ^ image.bit_count()) & 1:
+            preserving = False
+    if conserving:
+        return "conserving"
+    if preserving:
+        return "preserving"
+    return "mixing"
+
+
+def verify_circuit(circuit, report: DiagnosticReport | None = None) -> DiagnosticReport:
+    """Well-formedness of a circuit, with no simulation.
+
+    Checks every operation's wire bounds and distinctness, gate/reset
+    discipline, and every distinct gate's table (bijectivity, arity,
+    size); sound gates additionally get an ``RV020`` parity-class note.
+    """
+    if report is None:
+        report = DiagnosticReport()
+    label = circuit_label(circuit)
+    if not isinstance(circuit.n_wires, int) or circuit.n_wires < 1:
+        report.error(
+            "RV010", label, f"circuit wire count {circuit.n_wires!r} is invalid"
+        )
+        return report
+
+    seen_gates: dict[str, bool] = {}
+    for index, op in enumerate(circuit.ops):
+        where = f"{label} op {index}"
+        wires = op.wires
+        if len(set(wires)) != len(wires):
+            report.error(
+                "RV011", where, f"wires {wires} are not pairwise distinct"
+            )
+        if not wires:
+            report.error("RV011", where, "operation touches no wires")
+        for wire in wires:
+            if not isinstance(wire, int) or not 0 <= wire < circuit.n_wires:
+                report.error(
+                    "RV010",
+                    where,
+                    f"wire {wire!r} out of range for {circuit.n_wires} wires",
+                )
+        if op.is_reset:
+            if op.gate is not None:
+                report.error(
+                    "RV013", where, "reset operation carries a gate"
+                )
+            if op.reset_value not in (0, 1):
+                report.error(
+                    "RV013",
+                    where,
+                    f"reset value must be 0 or 1, found {op.reset_value!r}",
+                )
+            continue
+        gate = op.gate
+        if gate is None:
+            report.error("RV013", where, "gate operation carries no gate")
+            continue
+        if gate.arity != len(wires):
+            report.error(
+                "RV012",
+                where,
+                f"gate {gate.name!r} has arity {gate.arity} but the "
+                f"operation touches {len(wires)} wires",
+            )
+        if gate.name not in seen_gates:
+            gate_where = f"{label} gate {gate.name!r}"
+            sound = check_gate(gate, gate_where, report)
+            seen_gates[gate.name] = sound
+            if sound:
+                report.note(
+                    "RV020",
+                    gate_where,
+                    f"parity class: {classify_parity(gate)}",
+                )
+    return report

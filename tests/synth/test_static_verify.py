@@ -1,0 +1,76 @@
+"""The static ANF fast path in the rewrite-verification contract."""
+
+from __future__ import annotations
+
+from repro.core import library
+from repro.core.circuit import Circuit
+from repro.core.truth_table import circuit_permutation
+from repro.synth import IdentityDatabase, optimize_report
+from repro.synth.peephole import _verify_rewrite
+
+
+def database() -> IdentityDatabase:
+    db = IdentityDatabase(3)
+    db.mine(
+        (library.CNOT, library.TOFFOLI, library.MAJ, library.MAJ_INV),
+        max_gates=2,
+    )
+    return db
+
+
+class TestVerifyRewrite:
+    def test_static_proof_accepts_equal_circuits(self):
+        window = Circuit(3).cnot(0, 1).cnot(0, 1).cnot(0, 2)
+        replacement = Circuit(3).cnot(0, 2)
+        mapping = circuit_permutation(window).mapping
+        assert _verify_rewrite(window, replacement, mapping)
+
+    def test_unequal_circuits_are_rejected(self):
+        window = Circuit(3).cnot(0, 1)
+        replacement = Circuit(3).cnot(0, 2)
+        mapping = circuit_permutation(window).mapping
+        assert not _verify_rewrite(window, replacement, mapping)
+
+    def test_static_path_needs_no_exhaustion(self, monkeypatch):
+        # When the ANF prover certifies equality, the exhaustive
+        # recomputation must not run at all — that is the fast path.
+        import repro.synth.peephole as peephole
+
+        def boom(circuit):
+            raise AssertionError("exhaustion ran despite a static proof")
+
+        monkeypatch.setattr(peephole, "circuit_permutation", boom)
+        window = Circuit(3).maj(0, 1, 2)
+        replacement = Circuit(3).maj(0, 1, 2)
+        assert _verify_rewrite(window, replacement, None)
+
+    def test_exhaustion_remains_the_authority(self, monkeypatch):
+        # If the static prover is broken and rejects a true equality,
+        # the exhaustive check still accepts the rewrite — a prover
+        # regression can cost time, never correctness.
+        import repro.synth.peephole as peephole
+
+        monkeypatch.setattr(
+            peephole, "circuits_equivalent", lambda a, b: False
+        )
+        window = Circuit(3).cnot(0, 1)
+        replacement = Circuit(3).cnot(0, 1)
+        mapping = circuit_permutation(window).mapping
+        assert _verify_rewrite(window, replacement, mapping)
+
+
+class TestOptimizeStillSound:
+    def test_database_rewrites_keep_their_action(self):
+        # End-to-end through the real optimizer: a redundant pair plus
+        # a rewritable window must come out equivalent and verified.
+        circuit = Circuit(3).cnot(0, 1).cnot(0, 1).toffoli(0, 1, 2)
+        report = optimize_report(circuit, database=database())
+        assert (
+            circuit_permutation(report.circuit).mapping
+            == circuit_permutation(circuit).mapping
+        )
+        assert report.verified_rewrites == (
+            report.cancellations
+            + report.identity_removals
+            + report.database_rewrites
+        )

@@ -1,0 +1,74 @@
+"""The ``python -m tools.lint`` driver: exit codes, JSON, selection."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(*args: str, cwd: Path = REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "lint.py"), *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+    )
+
+
+def test_repo_lints_clean_with_exit_zero():
+    result = run_lint()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_json_output_parses():
+    result = run_lint("--json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["ok"] is True
+    assert payload["errors"] == 0
+
+
+def test_list_codes_prints_registry():
+    result = run_lint("--list-codes")
+    assert result.returncode == 0
+    assert "RL100" in result.stdout
+    assert "RV300" in result.stdout
+
+
+def test_select_runs_only_named_pass():
+    result = run_lint("--select", "layering")
+    assert result.returncode == 0
+    assert "[layering]" in result.stdout
+
+
+def test_unknown_pass_is_driver_error():
+    result = run_lint("--select", "nonsense")
+    assert result.returncode == 2
+    assert "driver error" in result.stderr
+
+
+def test_planted_offenders_fail_with_expected_codes(tmp_path):
+    # One offender per headline lint family: an out-of-layer import, a
+    # bare ValueError, and an unseeded RNG call.
+    offender_root = tmp_path
+    core = offender_root / "src" / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "planted.py").write_text(
+        "import numpy as np\n"
+        "from repro.jobs import store\n"
+        "rng = np.random.default_rng()\n"
+        "def f(x):\n"
+        "    if x < 0:\n"
+        "        raise ValueError('no')\n"
+        "    return x\n"
+    )
+    result = run_lint("--root", str(offender_root), "--json")
+    assert result.returncode == 1, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    codes = {entry["code"] for entry in payload["diagnostics"]}
+    assert {"RL200", "RL100", "RL300"} <= codes

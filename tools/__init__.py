@@ -1,0 +1,1 @@
+"""Repository maintenance scripts (``python -m tools.lint`` etc.)."""

@@ -1,76 +1,39 @@
-"""Fail when repo-internal code calls a deprecated entry point.
+"""Back-compat shim: the deprecation audit now lives in the lint driver.
 
-The PR 3 API redesign left ``estimate_failure_probability`` and
-``logical_error_per_cycle`` behind as deprecation shims over
-:mod:`repro.runtime`.  New internal code must use the runtime API;
-only the shims' own modules, their re-exporting ``__init__`` files,
-and the tests that pin the shims' behaviour may keep referring to the
-old names.  CI runs this script; it exits 1 listing every offending
-``file:line``.
+The audit itself moved to :mod:`repro.verify.codelint.deprecation` as
+the ``RL400`` pass of ``python -m tools.lint``, which CI now runs.
+This entry point keeps the original CLI (and the ``audit(root)``
+helper) alive for scripts and muscle memory; it delegates to the lint
+pass and preserves the historical output format and exit codes.
 
 Usage::
 
-    python tools/deprecation_audit.py
+    python tools/deprecation_audit.py      # prefer: python -m tools.lint
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: Deprecated entry points whose spread this audit freezes.  The PR 5
-#: synthesis subsystem promoted the private ``circuit_cache_key``
-#: hashing to the public ``Circuit.content_key()`` (one content-hash
-#: scheme for the compile cache and the synth identity database); the
-#: old name is audited so a second hashing path cannot creep back in.
-DEPRECATED = (
-    "estimate_failure_probability",
-    "logical_error_per_cycle",
-    "circuit_cache_key",
+if str(REPO_ROOT / "src") not in sys.path:  # pragma: no cover - path setup
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.verify.codelint import deprecation as _pass  # noqa: E402
+from repro.verify.codelint.config import (  # noqa: E402
+    DEPRECATED_NAMES as DEPRECATED,
+    DEPRECATION_ALLOWED as ALLOWED,
+    DEPRECATION_SCANNED as SCANNED,
 )
 
-#: Directories scanned for Python sources.
-SCANNED = ("src", "examples", "benchmarks", "tests", "tools")
-
-#: Files allowed to reference the deprecated names: the shim
-#: definitions, the package __init__ re-exports kept for backwards
-#: compatibility, the tests pinning shim behaviour, and this audit.
-ALLOWED = {
-    "src/repro/noise/monte_carlo.py",
-    "src/repro/noise/__init__.py",
-    "src/repro/harness/threshold_finder.py",
-    "src/repro/harness/__init__.py",
-    "tests/noise/test_monte_carlo.py",
-    "tests/harness/test_threshold_finder.py",
-    "tests/runtime/test_executor.py",
-    "tests/test_deprecation_audit.py",
-    "tools/deprecation_audit.py",
-}
-
-_PATTERN = re.compile("|".join(re.escape(name) for name in DEPRECATED))
+__all__ = ["ALLOWED", "DEPRECATED", "SCANNED", "audit", "main"]
 
 
 def audit(root: Path = REPO_ROOT) -> list[str]:
     """Every disallowed ``file:line: match`` reference, sorted."""
-    offenses: list[str] = []
-    for directory in SCANNED:
-        base = root / directory
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*.py")):
-            relative = path.relative_to(root).as_posix()
-            if relative in ALLOWED:
-                continue
-            for number, line in enumerate(
-                path.read_text().splitlines(), start=1
-            ):
-                match = _PATTERN.search(line)
-                if match:
-                    offenses.append(f"{relative}:{number}: {match.group(0)}")
-    return offenses
+    return _pass.audit(root)
 
 
 def main() -> int:
