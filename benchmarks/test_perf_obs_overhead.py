@@ -1,0 +1,124 @@
+"""Acceptance: disabled observability costs nothing measurable.
+
+``repro.obs`` instrumentation sits on the executor's hot path — span
+context managers around every group, counters on every run — and its
+whole license to live there is the no-op-cheap contract: with tracing
+disabled, ``trace()`` is one global load returning a shared no-op span.
+
+This benchmark pins that contract with a ratio test: the real
+instrumented executor (tracing disabled) versus the same executor with
+every ``trace``/counter call monkeypatched to inert stubs — an
+obs-stubbed build.  The workload is the 100k-trial noisy recovery
+sweep (where any per-group overhead would surface); trials override
+via ``REPRO_TRIALS``.  The ceiling is 2% by default,
+``REPRO_OBS_OVERHEAD_CEILING`` (percent) overrides it for noisy shared
+CI runners.
+
+Timing uses ``time.perf_counter`` directly: benchmarks live outside
+``src/repro``, where codelint RL500 does not apply.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.coding import recovery_circuit
+from repro.noise import NoiseModel, repetition_failure_predicate
+from repro.runtime import (
+    ExecutionPolicy,
+    Executor,
+    PredicateObservable,
+    RunSpec,
+)
+import repro.runtime.executor as executor_module
+
+TRIALS = int(os.environ.get("REPRO_TRIALS", "100000"))
+RECOVERY_INPUT = (1, 1, 1) + (0,) * 6
+POINTS = 4
+OBSERVABLE = PredicateObservable(repetition_failure_predicate((0, 1, 2), 1))
+
+
+def _specs():
+    return [
+        RunSpec(
+            circuit=recovery_circuit(),
+            input_bits=RECOVERY_INPUT,
+            observable=OBSERVABLE,
+            noise=NoiseModel(gate_error=0.01),
+            trials=TRIALS,
+            seed=1000 + index,
+        )
+        for index in range(POINTS)
+    ]
+
+
+def _run_sweep():
+    Executor(ExecutionPolicy(parallel=None)).run(_specs())
+
+
+class _InertSpan:
+    def set(self, **attrs):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class _InertCounter:
+    def inc(self, amount=1):
+        pass
+
+
+def _stub_obs(monkeypatch):
+    """The counterfactual build: every obs hook in the executor inert."""
+    span = _InertSpan()
+    inert = _InertCounter()
+    monkeypatch.setattr(
+        executor_module, "trace", lambda name, **attrs: span
+    )
+    for name in (
+        "_RUNS",
+        "_POINTS",
+        "_GROUPS",
+        "_STACKED_POINTS",
+        "_LEGACY_POINTS",
+    ):
+        monkeypatch.setattr(executor_module, name, inert)
+
+
+def _interleaved_best_seconds(functions, rounds: int = 5) -> list[float]:
+    """Best-of-``rounds`` per function, rounds interleaved so machine
+    phases hit all contenders instead of skewing the ratio."""
+    for function in functions:  # warm-up: compile cache, scratch pools
+        function()
+    best = [float("inf")] * len(functions)
+    for _ in range(rounds):
+        for index, function in enumerate(functions):
+            start = time.perf_counter()
+            function()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracing_overhead_within_ceiling(monkeypatch):
+    from repro.obs import tracing_enabled
+
+    assert not tracing_enabled(), "benchmark requires tracing disabled"
+    ceiling = float(os.environ.get("REPRO_OBS_OVERHEAD_CEILING", "2")) / 100.0
+
+    def run_stubbed():
+        with monkeypatch.context() as patch:
+            _stub_obs(patch)
+            _run_sweep()
+
+    real_s, stubbed_s = _interleaved_best_seconds([_run_sweep, run_stubbed])
+    ratio = real_s / stubbed_s
+    assert ratio <= 1.0 + ceiling, (
+        f"disabled-tracing overhead {100 * (ratio - 1):.2f}% exceeds the "
+        f"{100 * ceiling:.0f}% ceiling (real {real_s:.4f}s vs stubbed "
+        f"{stubbed_s:.4f}s over {TRIALS} trials x {POINTS} points)"
+    )

@@ -25,7 +25,7 @@ must pass the parametrized conformance suite in
 
 from __future__ import annotations
 
-from repro.backends.base import PlaneBackend, PreparedProgram
+from repro.backends.base import PlaneBackend, PreparedProgram, TimedProgram
 from repro.backends.fused import FusedBackend
 from repro.backends.numpy_backend import NumpyBackend
 from repro.backends.registry import (
@@ -45,6 +45,7 @@ __all__ = [
     "NumpyBackend",
     "PlaneBackend",
     "PreparedProgram",
+    "TimedProgram",
     "available_backends",
     "backend_from_env",
     "get_backend",

@@ -42,8 +42,9 @@ from repro.core.bitplane import (
     count_trial_ones,
     popcount_words,
 )
+from repro.obs import clock_ns, histogram, sample_every
 
-__all__ = ["PlaneBackend", "PreparedProgram"]
+__all__ = ["PlaneBackend", "PreparedProgram", "TimedProgram"]
 
 
 class PreparedProgram:
@@ -74,6 +75,34 @@ class PreparedProgram:
         for index in range(len(self.compiled.slots)):
             self.apply_slot(state, index)
         return state
+
+
+class TimedProgram(PreparedProgram):
+    """A prepared program with sampled per-slot kernel timing.
+
+    Wraps another :class:`PreparedProgram`, timing every ``every``-th
+    ``apply_slot`` call into the ``backend.<name>.kernel_ns``
+    histogram (and counting all calls).  Only constructed when
+    ``REPRO_OBS_SAMPLE`` is active — see :meth:`PlaneBackend.prepare` —
+    so the disabled hot loop carries no wrapper at all.  Timing reads
+    only the clock: results stay bit-identical at any sampling rate.
+    """
+
+    def __init__(self, inner: PreparedProgram, backend_name: str, every: int):
+        super().__init__(inner.compiled)
+        self.inner = inner
+        self.every = every
+        self.calls = 0
+        self._hist = histogram(f"backend.{backend_name}.kernel_ns")
+
+    def apply_slot(self, state: BitplaneState, index: int) -> None:
+        self.calls += 1
+        if self.calls % self.every:
+            self.inner.apply_slot(state, index)
+            return
+        started = clock_ns()
+        self.inner.apply_slot(state, index)
+        self._hist.observe(clock_ns() - started)
 
 
 class PlaneBackend:
@@ -123,13 +152,20 @@ class PlaneBackend:
         Cached in ``compiled.prepared`` keyed on :meth:`prepare_key`,
         so a sweep or bisection re-running one circuit prepares it
         exactly once per process regardless of how many runs consume
-        it.
+        it.  When kernel-timing sampling is on (``REPRO_OBS_SAMPLE``)
+        the *returned* program is a fresh :class:`TimedProgram` over
+        the cached one — the cache itself never holds a wrapper, so
+        toggling sampling between runs cannot leak timing into a
+        sampling-off caller.
         """
         key = self.prepare_key()
         prepared = compiled.prepared.get(key)
         if prepared is None:
             prepared = self._prepare(compiled)
             compiled.prepared[key] = prepared
+        every = sample_every()
+        if every:
+            return TimedProgram(prepared, self.name, every)
         return prepared
 
     def _prepare(self, compiled) -> PreparedProgram:

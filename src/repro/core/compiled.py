@@ -79,6 +79,7 @@ import numpy as np
 from repro.core.circuit import Circuit
 from repro.core.gate import Gate
 from repro.errors import SimulationError
+from repro.obs import counter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.bitplane import BitplaneState
@@ -517,6 +518,15 @@ def fusion_enabled() -> bool:
 COMPILE_CACHE_MAX_ENTRIES = 256
 
 
+# Process-wide compile-cache metrics (repro.obs).  Dual-accounted:
+# each CompileCache instance keeps its own ints (the stats()/clear()
+# contract existing callers and tests rely on) while the registry
+# counters aggregate monotonically across every instance and never
+# reset with the cache.
+_CACHE_HITS = counter("compile.cache.hit")
+_CACHE_MISSES = counter("compile.cache.miss")
+
+
 class CompileCache:
     """Content-keyed LRU cache of :class:`CompiledCircuit` with counters."""
 
@@ -535,11 +545,13 @@ class CompileCache:
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            _CACHE_HITS.inc()
             # dicts iterate in insertion order; re-inserting keeps the
             # eviction order least-recently-used.
             self._entries[key] = self._entries.pop(key)
             return cached
         self.misses += 1
+        _CACHE_MISSES.inc()
         compiled = CompiledCircuit(circuit, fuse=fuse)
         self._entries[key] = compiled
         while len(self._entries) > self.max_entries:

@@ -133,8 +133,12 @@ def sweep(
                     # pay for the whole grid.  Cancel everything not
                     # yet running so the error surfaces promptly (the
                     # points already in flight still finish; their
-                    # results are discarded).
-                    pool.shutdown(wait=False, cancel_futures=True)
+                    # results are discarded).  Per-future cancel, not
+                    # shutdown(cancel_futures=True) — that path can
+                    # deadlock the pool when a task fails to pickle
+                    # mid-flight (see Executor.run).
+                    for queued in futures:
+                        queued.cancel()
                     raise _point_error(parameter, x, exc) from exc
             ys = tuple(ys)
     return SweepResult(parameter=parameter, xs=xs, ys=ys)

@@ -23,6 +23,7 @@ from repro.core.compiled import compile_cache_enabled
 from repro.harness.stats import wilson_interval
 from repro.harness.sweep import spawn_seeds, sweep
 from repro.noise.model import NoiseModel
+from repro.obs import counter, trace
 from repro.runtime import (
     DecodeObservable,
     ExecutionPolicy,
@@ -41,6 +42,15 @@ _PROCESSOR_CACHE: dict[int, LogicalProcessor] = {}
 #: The logical word every cycle processor carries through its identity
 #: cycles (MAJ then MAJ⁻¹ leave it unchanged).
 _CYCLE_INPUT = (1, 0, 1)
+
+# Search-shape metrics (repro.obs): how many rounds and stage
+# evaluations the adaptive search spends, and how much of its
+# speculative prefetching the bisection never consumed.  Observational
+# only — the search's numbers are pinned bit-identical regardless.
+_ROUNDS = counter("threshold.rounds")
+_STAGE_EVALS = counter("threshold.stage_evaluations")
+_SPECULATED = counter("threshold.speculated")
+_SPECULATION_WASTED = counter("threshold.speculation_wasted")
 
 
 def _cycle_processor(cycles: int) -> LogicalProcessor:
@@ -381,15 +391,27 @@ class _StackedStageEvaluator:
         else:
             self.executor = Executor(policy)
         self.results: dict[tuple[int, int, float], tuple[float, int]] = {}
+        #: Requests evaluated on speculation vs requests the search
+        #: actually read — their difference is the wasted prefetch the
+        #: ``threshold.speculation_wasted`` counter reports.
+        self.speculative: set[tuple[int, int, float]] = set()
+        self.consumed: set[tuple[int, int, float]] = set()
 
     def __contains__(self, request) -> bool:
         return request in self.results
 
     def __getitem__(self, request) -> tuple[float, int]:
-        return self.results[request]
+        result = self.results[request]
+        self.consumed.add(request)
+        return result
 
-    def run_batch(self, requests) -> None:
-        """Evaluate all not-yet-cached requests in one stacked call."""
+    def run_batch(self, requests, speculative=()) -> None:
+        """Evaluate all not-yet-cached requests in one stacked call.
+
+        ``speculative`` names the subset requested on speculation (the
+        round planner prefetching points the bisection may never
+        consume) — bookkeeping only, execution is identical.
+        """
         pending = [
             request
             for request in dict.fromkeys(requests)
@@ -397,6 +419,10 @@ class _StackedStageEvaluator:
         ]
         if not pending:
             return
+        _STAGE_EVALS.inc(len(pending))
+        fresh_speculation = [r for r in speculative if r in pending]
+        self.speculative.update(fresh_speculation)
+        _SPECULATED.inc(len(fresh_speculation))
         specs = []
         for candidate, stage, gate_error in pending:
             n = self.stages[stage]
@@ -456,6 +482,35 @@ def _find_pseudo_threshold_stacked(
     spend; speculative stages the bisection never consumed are not
     billed).
     """
+    with trace(
+        "threshold.search",
+        lower=lower,
+        upper=upper,
+        trials=trials,
+        iterations=iterations,
+    ) as span:
+        result, evaluator = _stacked_search(
+            spec_builder, lower, upper, trials, iterations, cycles, z,
+            seed, policy, store,
+        )
+        wasted = len(evaluator.speculative - evaluator.consumed)
+        _SPECULATION_WASTED.inc(wasted)
+        span.set(
+            estimate=result.estimate,
+            evaluations=result.evaluations,
+            trials_spent=result.trials_spent,
+            resolution_limited=result.resolution_limited,
+            speculated=len(evaluator.speculative),
+            speculation_wasted=wasted,
+        )
+    return result
+
+
+def _stacked_search(
+    spec_builder, lower, upper, trials, iterations, cycles, z, seed,
+    policy, store,
+) -> tuple[PseudoThreshold, _StackedStageEvaluator]:
+    """The search itself; the caller owns the span and waste billing."""
     stages = _search_stages(trials)
     final_stage = len(stages) - 1
     gate_cycles = 2 * cycles
@@ -469,34 +524,40 @@ def _find_pseudo_threshold_stacked(
     # Bracket round: both endpoints' first stages and — speculatively —
     # the first midpoint's, in one stacked call.  Undecided endpoints
     # escalate jointly.
-    first_middle = (lower + upper) / 2.0
-    batch = [(0, 0, lower), (1, 0, upper)]
-    if iterations >= 1:
-        batch.append((2, 0, first_middle))
-    evaluator.run_batch(batch)
-    rates = {}
-    signs = {0: 0, 1: 0}
-    spent = {0: 0, 1: 0}
-    undecided = [(0, lower), (1, upper)]
-    for stage in range(len(stages)):
-        evaluator.run_batch(
-            [(candidate, stage, g) for candidate, g in undecided]
+    with trace("threshold.bracket", lower=lower, upper=upper) as bracket_span:
+        first_middle = (lower + upper) / 2.0
+        batch = [(0, 0, lower), (1, 0, upper)]
+        speculated = []
+        if iterations >= 1:
+            speculated = [(2, 0, first_middle)]
+            batch.append(speculated[0])
+        evaluator.run_batch(batch, speculative=speculated)
+        rates = {}
+        signs = {0: 0, 1: 0}
+        spent = {0: 0, 1: 0}
+        undecided = [(0, lower), (1, upper)]
+        for stage in range(len(stages)):
+            evaluator.run_batch(
+                [(candidate, stage, g) for candidate, g in undecided]
+            )
+            still = []
+            for candidate, g in undecided:
+                rate, failures = evaluator[(candidate, stage, g)]
+                rates[candidate] = rate
+                spent[candidate] += stages[stage]
+                sign = _interval_sign(
+                    g, failures, stages[stage], z, gate_cycles
+                )
+                signs[candidate] = sign
+                if sign == 0 and stage < final_stage:
+                    still.append((candidate, g))
+            undecided = still
+            if not undecided:
+                break
+        bracket_span.set(spent=spent[0] + spent[1])
+        _validate_bracket(
+            rates[0], signs[0], rates[1], signs[1], lower, upper
         )
-        still = []
-        for candidate, g in undecided:
-            rate, failures = evaluator[(candidate, stage, g)]
-            rates[candidate] = rate
-            spent[candidate] += stages[stage]
-            sign = _interval_sign(g, failures, stages[stage], z, gate_cycles)
-            signs[candidate] = sign
-            if sign == 0 and stage < final_stage:
-                still.append((candidate, g))
-        undecided = still
-        if not undecided:
-            break
-    _validate_bracket(
-        rates[0], signs[0], rates[1], signs[1], lower, upper
-    )
 
     def measure_middle(iteration, low, middle, high):
         """One round: walk the midpoint's stages, batching each fetch
@@ -504,31 +565,44 @@ def _find_pseudo_threshold_stacked(
         candidate = 2 + iteration
         spent_here = 0
         sign = 0
-        for stage in range(len(stages)):
-            key = (candidate, stage, middle)
-            if key not in evaluator:
-                batch = [key]
-                if stage < final_stage and iteration + 1 < iterations:
-                    # Speculate the two next possible midpoints' first
-                    # stages: unless this round's *final* stage stops
-                    # the search, one of them is the next round's
-                    # midpoint (their specs share this round's
-                    # circuit, so they ride the same stacked array).
-                    child = candidate + 1
-                    batch.append((child, 0, (low + middle) / 2.0))
-                    batch.append((child, 0, (middle + high) / 2.0))
-                evaluator.run_batch(batch)
-            _, failures = evaluator[key]
-            spent_here += stages[stage]
-            sign = _interval_sign(
-                middle, failures, stages[stage], z, gate_cycles
-            )
-            if sign:
-                break
+        _ROUNDS.inc()
+        with trace(
+            "threshold.round", iteration=iteration, middle=middle
+        ) as round_span:
+            for stage in range(len(stages)):
+                key = (candidate, stage, middle)
+                if key not in evaluator:
+                    batch = [key]
+                    speculated = []
+                    if stage < final_stage and iteration + 1 < iterations:
+                        # Speculate the two next possible midpoints'
+                        # first stages: unless this round's *final*
+                        # stage stops the search, one of them is the
+                        # next round's midpoint (their specs share this
+                        # round's circuit, so they ride the same
+                        # stacked array).
+                        child = candidate + 1
+                        speculated = [
+                            (child, 0, (low + middle) / 2.0),
+                            (child, 0, (middle + high) / 2.0),
+                        ]
+                        batch.extend(speculated)
+                    evaluator.run_batch(batch, speculative=speculated)
+                _, failures = evaluator[key]
+                spent_here += stages[stage]
+                sign = _interval_sign(
+                    middle, failures, stages[stage], z, gate_cycles
+                )
+                if sign:
+                    break
+            round_span.set(sign=sign, spent=spent_here)
         return sign, spent_here
 
-    return _bisect(
-        measure_middle, lower, upper, iterations, spent[0] + spent[1]
+    return (
+        _bisect(
+            measure_middle, lower, upper, iterations, spent[0] + spent[1]
+        ),
+        evaluator,
     )
 
 

@@ -20,10 +20,17 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.jobs.store import ResultStore
+from repro.obs import counter
 from repro.runtime.spec import ExecutionPolicy, PointResult, RunSpec
 from repro.runtime.executor import Executor
 
 __all__ = ["CachingExecutor"]
+
+# Process-wide split between simulated and store-served points, across
+# every CachingExecutor (the per-instance ints stay authoritative for
+# "what did this executor do" assertions).
+_SIMULATED = counter("jobs.cache.simulated_points")
+_SERVED = counter("jobs.cache.served_points")
 
 
 class CachingExecutor:
@@ -71,11 +78,13 @@ class CachingExecutor:
         if pending:
             computed = self.executor.run([specs[i] for i in pending])
             self.simulated_points += len(pending)
+            _SIMULATED.inc(len(pending))
             for index, result in zip(pending, computed):
                 results[index] = result
                 if isinstance(specs[index].seed, int):
                     self.store.put(specs[index], self.policy, result)
         self.cached_points += len(specs) - len(pending)
+        _SERVED.inc(len(specs) - len(pending))
         return results  # type: ignore[return-value]
 
     def run_one(self, spec: RunSpec) -> PointResult:

@@ -52,6 +52,15 @@ from repro.harness.stats import RateEstimate
 from repro.jobs.caching import CachingExecutor
 from repro.jobs.planner import DEFAULT_SHARD_SIZE, Shard, plan_shards
 from repro.jobs.store import ResultStore, point_key
+from repro.obs import (
+    counter,
+    enable_tracing,
+    flush_trace_if_forked,
+    gauge,
+    histogram,
+    stopwatch,
+    trace,
+)
 from repro.runtime.executor import Executor, resolve_workers
 from repro.runtime.serialization import canonical_json, spec_from_json, spec_to_json
 from repro.runtime.spec import ExecutionPolicy, PointResult, RunSpec
@@ -64,6 +73,13 @@ JOB_FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "shards"
 STORE_DIR = "store"
+
+# Job-layer metrics (repro.obs): shard throughput plus the live
+# done/total gauges a heartbeat reads mid-run.
+_SHARDS_RUN = counter("jobs.shards.run")
+_SHARD_SECONDS = histogram("jobs.shard_seconds")
+_SHARDS_TOTAL = gauge("jobs.shards.total")
+_SHARDS_DONE = gauge("jobs.shards.done")
 
 
 def _write_atomic(path: Path, payload: dict) -> None:
@@ -122,14 +138,25 @@ class RunReport:
 
 def _run_shard_specs(
     specs: list[RunSpec], policy: ExecutionPolicy
-) -> list[PointResult]:
+) -> tuple[list[PointResult], float]:
     """Pool task: evaluate one shard's pending specs in-process.
 
     The policy arrives with ``parallel`` stripped (a worker must not
     open a nested pool); the shard's points still stack into one plane
-    array inside the executor.
+    array inside the executor.  Returns the results together with the
+    shard's wall-clock seconds, measured in the worker (the parent's
+    clock would include pool queueing).
     """
-    return Executor(policy).run(specs)
+    if policy.trace:
+        enable_tracing(policy.trace)
+    with trace("jobs.shard", points=len(specs)):
+        watch = stopwatch()
+        results = Executor(policy).run(specs)
+        elapsed = watch.elapsed_s
+    # Pool children exit via os._exit (no atexit), so the worker's
+    # `<path>.<pid>` document is rewritten after each completed shard.
+    flush_trace_if_forked()
+    return results, elapsed
 
 
 class SweepJob:
@@ -186,6 +213,17 @@ class SweepJob:
         :class:`~repro.jobs.caching.CachingExecutor` queries) reuse
         each other's points.
         """
+        with trace("jobs.submit") as span:
+            job = cls._submit_impl(job_dir, specs, policy, shard_size, store)
+            span.set(
+                job=job.job_id,
+                points=len(job.specs),
+                shards=len(job.shards),
+            )
+        return job
+
+    @classmethod
+    def _submit_impl(cls, job_dir, specs, policy, shard_size, store):
         job_dir = Path(job_dir)
         specs = list(specs)
         if not specs:
@@ -366,7 +404,10 @@ class SweepJob:
         return results
 
     def _write_checkpoint(
-        self, shard: Shard, results: Sequence[PointResult]
+        self,
+        shard: Shard,
+        results: Sequence[PointResult],
+        stats: dict | None = None,
     ) -> None:
         payload = {
             "format": JOB_FORMAT_VERSION,
@@ -386,6 +427,12 @@ class SweepJob:
                 for index, result in zip(shard.indices, results)
             ],
         }
+        if stats is not None:
+            # Observational only (elapsed seconds, simulated/cached
+            # split for `status --verbose`): never key material, and
+            # absent from checkpoints written by older runs — readers
+            # must treat it as optional.
+            payload["stats"] = stats
         _write_atomic(self._shard_path(shard), payload)
 
     # ------------------------------------------------------------------
@@ -396,6 +443,7 @@ class SweepJob:
         self,
         workers: int | bool | None = None,
         max_shards: int | None = None,
+        on_progress=None,
     ) -> RunReport:
         """Execute every unfinished shard (optionally at most ``max_shards``).
 
@@ -404,8 +452,15 @@ class SweepJob:
         ``workers`` fans pending shards out to a process pool
         (defaulting to the policy's ``parallel`` setting); every worker
         pre-warms its compile cache with the job's distinct circuits,
-        so no worker compiles the same program twice.
+        so no worker compiles the same program twice.  ``on_progress``,
+        when given, is called after each pending shard finishes with
+        ``(done, pending_total, shard_id, elapsed_s)`` — the CLI's
+        verbose heartbeat.
         """
+        with trace("jobs.run", job=self.job_id) as span:
+            return self._run_impl(workers, max_shards, on_progress, span)
+
+    def _run_impl(self, workers, max_shards, on_progress, span) -> RunReport:
         if max_shards is not None and max_shards < 0:
             raise AnalysisError(f"max_shards must be >= 0, got {max_shards}")
         pending: list[Shard] = []
@@ -419,8 +474,15 @@ class SweepJob:
         if max_shards is not None and len(pending) > max_shards:
             pending = pending[:max_shards]
             interrupted = True
+        _SHARDS_TOTAL.set(len(self.shards))
+        _SHARDS_DONE.set(skipped)
+        span.set(
+            shards=len(self.shards), pending=len(pending), skipped=skipped
+        )
         simulated = 0
         cached = 0
+        completed = 0
+        shard_stats: dict[str, dict] = {}
         # A worker must not open a nested pool: shards are the unit of
         # fan-out, and each shard is already one stacked batch inside.
         shard_policy = replace(self.policy, parallel=None)
@@ -476,9 +538,14 @@ class SweepJob:
                     to_simulate, futures
                 ):
                     try:
-                        computed = future.result()
+                        computed, elapsed = future.result()
                     except Exception as exc:
-                        pool.shutdown(wait=False, cancel_futures=True)
+                        # Per-future cancel, not shutdown(
+                        # cancel_futures=True) — that path can deadlock
+                        # the pool when a task fails to pickle
+                        # mid-flight (see Executor.run).
+                        for pending in futures:
+                            pending.cancel()
                         raise JobError(
                             f"shard {shard.shard_id} failed: {exc}"
                         ) from exc
@@ -490,19 +557,67 @@ class SweepJob:
                             self.policy,
                             result,
                         )
+                    completed += 1
+                    shard_stats[shard.shard_id] = {
+                        "elapsed_s": elapsed,
+                        "simulated": len(misses),
+                        "cached": len(shard.indices) - len(misses),
+                    }
+                    _SHARDS_RUN.inc()
+                    _SHARDS_DONE.inc()
+                    _SHARD_SECONDS.observe(elapsed)
+                    if on_progress is not None:
+                        on_progress(
+                            completed, len(pending), shard.shard_id, elapsed
+                        )
         else:
             for shard, results, misses in to_simulate:
-                computed = caching.run(
-                    [self.specs[shard.indices[i]] for i in misses]
-                )
+                with trace(
+                    "jobs.shard",
+                    shard=shard.shard_id,
+                    points=len(shard.indices),
+                    misses=len(misses),
+                ):
+                    watch = stopwatch()
+                    computed = caching.run(
+                        [self.specs[shard.indices[i]] for i in misses]
+                    )
+                    elapsed = watch.elapsed_s
                 simulated += len(misses)
                 for position, result in zip(misses, computed):
                     results[position] = result
+                completed += 1
+                shard_stats[shard.shard_id] = {
+                    "elapsed_s": elapsed,
+                    "simulated": len(misses),
+                    "cached": len(shard.indices) - len(misses),
+                }
+                _SHARDS_RUN.inc()
+                _SHARDS_DONE.inc()
+                _SHARD_SECONDS.observe(elapsed)
+                if on_progress is not None:
+                    on_progress(
+                        completed, len(pending), shard.shard_id, elapsed
+                    )
         # Checkpoints are written only once every point of the shard is
         # in hand — a crash between store puts and here re-runs nothing
         # but the shard's bookkeeping.
         for shard, results, misses in plan:
-            self._write_checkpoint(shard, results)  # type: ignore[arg-type]
+            stats = shard_stats.get(shard.shard_id)
+            if stats is None:
+                # The whole shard was served from the store: no compute
+                # happened, but the shard still completes this run.
+                stats = {
+                    "elapsed_s": 0.0,
+                    "simulated": 0,
+                    "cached": len(shard.indices),
+                }
+                completed += 1
+                _SHARDS_DONE.inc()
+                if on_progress is not None:
+                    on_progress(completed, len(pending), shard.shard_id, 0.0)
+            self._write_checkpoint(shard, results, stats)  # type: ignore[arg-type]
+        span.set(simulated=simulated, cached=cached)
         return RunReport(
             shards_run=len(plan),
             shards_skipped=skipped,
@@ -531,6 +646,41 @@ class SweepJob:
             points_done=points_done,
         )
 
+    def shard_stats(self) -> list[dict]:
+        """Per-shard progress rows for verbose status output.
+
+        One dict per planned shard — ``shard_id``, ``points``,
+        ``done``, and (for checkpoints that recorded a stats block)
+        ``elapsed_s``/``simulated``/``cached``.  Checkpoints written
+        before stats existed report ``None`` for those three; the
+        fields are observational and never affect results or keys.
+        """
+        rows: list[dict] = []
+        for shard in self.shards:
+            done = self._load_checkpoint(shard) is not None
+            stats: dict = {}
+            if done:
+                try:
+                    stats = (
+                        json.loads(self._shard_path(shard).read_text()).get(
+                            "stats"
+                        )
+                        or {}
+                    )
+                except (OSError, json.JSONDecodeError):
+                    stats = {}
+            rows.append(
+                {
+                    "shard_id": shard.shard_id,
+                    "points": len(shard),
+                    "done": done,
+                    "elapsed_s": stats.get("elapsed_s"),
+                    "simulated": stats.get("simulated"),
+                    "cached": stats.get("cached"),
+                }
+            )
+        return rows
+
     def collect(self) -> list[PointResult]:
         """Merge every shard checkpoint into spec-order results.
 
@@ -540,6 +690,12 @@ class SweepJob:
         are still missing; a partial merge would silently misrepresent
         the sweep.
         """
+        with trace("jobs.collect", job=self.job_id) as span:
+            results = self._collect_impl()
+            span.set(points=len(results), shards=len(self.shards))
+        return results
+
+    def _collect_impl(self) -> list[PointResult]:
         results: list[PointResult | None] = [None] * len(self.specs)
         missing = []
         done = 0

@@ -37,6 +37,7 @@ from pathlib import Path
 from repro._version import __version__
 from repro.errors import JobError
 from repro.noise.monte_carlo import resolve_engine
+from repro.obs import counter
 from repro.runtime.serialization import (
     canonical_json,
     compress_for_hashing,
@@ -101,6 +102,16 @@ def point_key(spec: RunSpec, policy: ExecutionPolicy) -> str:
     return _key_from_wire(spec, spec_to_json(spec), policy)
 
 
+# Store traffic metrics (repro.obs).  Dual-accounted with the
+# per-instance ints: instance counters answer "what did THIS store see"
+# (the stats() contract the tests pin), the registry counters aggregate
+# across every store in the process for trace/metrics dumps.
+_STORE_HITS = counter("jobs.store.hit")
+_STORE_MISSES = counter("jobs.store.miss")
+_STORE_PUTS = counter("jobs.store.put")
+_STORE_STALE = counter("jobs.store.stale")
+
+
 class ResultStore:
     """A directory of JSON point results keyed by :func:`point_key`.
 
@@ -146,17 +157,20 @@ class ResultStore:
         path = self._path(key)
         if not path.exists():
             self.misses += 1
+            _STORE_MISSES.inc()
             return None
         try:
             entry = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             self.stale += 1
+            _STORE_STALE.inc()
             raise JobError(
                 f"result store entry {path} is unreadable: {exc}; delete "
                 f"it to recompute"
             ) from exc
         self._verify(entry, key, spec, spec_json, path)
         self.hits += 1
+        _STORE_HITS.inc()
         result = entry["result"]
         return PointResult(
             failures=result["failures"],
@@ -196,6 +210,7 @@ class ResultStore:
                 problems.append("result counts out of range")
         if problems:
             self.stale += 1
+            _STORE_STALE.inc()
             raise JobError(
                 f"stale result store entry {path}: {'; '.join(problems)}; "
                 f"delete it to recompute"
@@ -256,6 +271,7 @@ class ResultStore:
                 pass
             raise
         self.puts += 1
+        _STORE_PUTS.inc()
         return key
 
     # ------------------------------------------------------------------

@@ -12,20 +12,19 @@ records.
 from __future__ import annotations
 
 import sys
-import time
 
 from repro.harness.experiments import REGISTRY, run_experiment
 from repro.harness.tables import paper_vs_measured
+from repro.obs import stopwatch
 
 
 def main() -> int:
     failures = 0
     for experiment_id in REGISTRY:
-        started = time.perf_counter()
+        watch = stopwatch()
         result = run_experiment(experiment_id)
-        elapsed = time.perf_counter() - started
         status = "PASS" if result.all_match else "FAIL"
-        print(f"[{status}] {experiment_id} ({elapsed:.1f}s)")
+        print(f"[{status}] {experiment_id} ({watch.elapsed_s:.1f}s)")
         print(
             paper_vs_measured(
                 result.rows, title=f"{result.experiment_id} — {result.paper_ref}"

@@ -58,12 +58,22 @@ from repro.noise.monte_carlo import (
     _bernoulli_positions,
     resolve_engine,
 )
+from repro.obs import counter, enable_tracing, flush_trace_if_forked, trace
 from repro.runtime.spec import (
     ExecutionPolicy,
     PointResult,
     RunSpec,
     as_observable,
 )
+
+# Executor-layer metrics (see repro.obs for the naming convention).
+# Held as module references so the hot paths pay one attribute
+# increment, never a registry lookup.
+_RUNS = counter("executor.runs")
+_POINTS = counter("executor.points")
+_GROUPS = counter("executor.groups")
+_STACKED_POINTS = counter("executor.stacked_points")
+_LEGACY_POINTS = counter("executor.legacy_points")
 
 #: ``_POW2[b]`` is the uint64 word with only bit ``b`` set.  Indexing
 #: this table turns a bit-position vector into select words without the
@@ -416,51 +426,15 @@ def _point_class_sites(
     return op_row[op_of], word_of, select, prefix, fault_plane
 
 
-def _run_group_stacked(
-    specs: Sequence[RunSpec], policy: ExecutionPolicy
-) -> list[PointResult]:
-    """Evaluate one bitplane group's points in a single stacked array.
-
-    Point ``p`` occupies the word window ``[offset_p, offset_p +
-    words_p)`` of every wire plane.  The shared program is applied once
-    per fused slot over the whole array; fault injection is per point
-    (each point's noise level and generator are its own) but batched
-    per slot: every point's replacement words are drawn from its own
-    generator in the solo order, then all points' fault sites scatter
-    in ONE ``randomize_stacked`` call per slot group.
-
-    The per-point generator consumption — class gap passes, then
-    per-slot per-group replacement-word blocks — matches a solo
-    ``NoisyRunner`` run draw for draw, and plane operations are
-    wordwise, so each point's window is **bit-identical** to running
-    the spec alone.
+def _draw_phase(specs, compiled, plan, words, offsets, total_words, rngs):
+    """Fault-draw phase — per point: one gap-jumping draw per error
+    class (solo order: gate class, then reset class), the bookkeeping
+    merged into one pass on the combined fast path, then ONE flat
+    replacement-word draw covering every cell the point will inject.
+    Returns the resolved per-point sites, the per-point faulted-trial
+    counts, and the per-class active-point index lists.
     """
-    first = specs[0]
-    compiled = compile_circuit(
-        first.circuit, fuse=True, cache=policy.compile_cache
-    )
-    backend = get_backend(policy.backend)
-    prepared = backend.prepare(compiled)
-    # The plan is pure structure derived from the fused schedule, so it
-    # rides on the compiled program: a bisection or sweep re-running one
-    # circuit builds it exactly once per process.
-    plan = getattr(compiled, "_stack_plan", None)
-    if plan is None:
-        plan = _StackPlan(compiled)
-        compiled._stack_plan = plan
     max_groups = plan.max_groups
-    words = [words_for(spec.trials) for spec in specs]
-    offsets = [0]
-    for width in words[:-1]:
-        offsets.append(offsets[-1] + width)
-    total_words = sum(words)
-    states = backend.broadcast(first.input_bits, total_words * 64)
-    rngs = [_as_generator(spec.seed) for spec in specs]
-
-    # Phase 1 — per point: one gap-jumping draw per error class (solo
-    # order: gate class, then reset class), the bookkeeping merged into
-    # one pass on the combined fast path, then ONE flat
-    # replacement-word draw covering every cell the point will inject.
     points: list[_PointSites] = []
     faulted: list[int] = []
     n_cells = len(compiled.slots) * max_groups
@@ -525,17 +499,25 @@ def _run_group_stacked(
             ]
             for is_reset in (False, True)
         }
+    return points, faulted, points_with
 
-    # Phase 2 — the slot loop: one stacked apply per program group,
-    # pure slicing of each point's precomputed sites and word block,
-    # and one scatter per group for all points together.  The combined
-    # fast path scatters through a bare take/put on the flat plane
-    # buffer; mixed-arity circuits go through ``randomize_stacked``'s
-    # per-call wire gather.  The reshape MUST alias the planes (a
-    # non-contiguous array would silently reshape into a copy and every
-    # put would write to a dead buffer); broadcast allocates contiguous,
-    # and this fails loudly — not via assert, which -O strips — if that
-    # invariant is ever broken.
+
+def _inject_phase(
+    backend, prepared, states, compiled, plan, points, points_with
+):
+    """Slot-loop phase — one stacked apply per program group, pure
+    slicing of each point's precomputed sites and word block, and one
+    scatter per group for all points together.  The combined fast path
+    scatters through a bare take/put on the flat plane buffer;
+    mixed-arity circuits go through ``randomize_stacked``'s per-call
+    wire gather.  The reshape MUST alias the planes (a non-contiguous
+    array would silently reshape into a copy and every put would write
+    to a dead buffer); broadcast allocates contiguous, and this fails
+    loudly — not via assert, which -O strips — if that invariant is
+    ever broken.
+    """
+    max_groups = plan.max_groups
+    combined = plan.combined
     if not states.planes.flags.c_contiguous:
         raise SimulationError(
             "stacked executor requires C-contiguous planes; the flat "
@@ -626,13 +608,16 @@ def _run_group_stacked(
                 states, group.wire_matrix, None, rows, word_of, select, blocks
             )
 
-    # Phase 3 — observation.  Points sharing one observable (the sweep
-    # and threshold-search common case) are decoded in ONE stacked pass
-    # over the whole plane array; each point's count is read off its
-    # window of the resulting failure plane, so the decode cost is paid
-    # per *batch*, not per point.  Observables without a stacked path —
-    # and singleton clusters, where stacking buys nothing — keep the
-    # per-window ``count_failures`` call.
+
+def _decode_phase(specs, states, words, offsets, faulted):
+    """Observation phase — points sharing one observable (the sweep
+    and threshold-search common case) are decoded in ONE stacked pass
+    over the whole plane array; each point's count is read off its
+    window of the resulting failure plane, so the decode cost is paid
+    per *batch*, not per point.  Observables without a stacked path —
+    and singleton clusters, where stacking buys nothing — keep the
+    per-window ``count_failures`` call.
+    """
     failure_counts: list[int | None] = [None] * len(specs)
     clusters: list[tuple[object, list[int]]] = []
     for p, spec in enumerate(specs):
@@ -671,19 +656,94 @@ def _run_group_stacked(
     return results
 
 
+def _run_group_stacked(
+    specs: Sequence[RunSpec], policy: ExecutionPolicy
+) -> list[PointResult]:
+    """Evaluate one bitplane group's points in a single stacked array.
+
+    Point ``p`` occupies the word window ``[offset_p, offset_p +
+    words_p)`` of every wire plane.  The shared program is applied once
+    per fused slot over the whole array; fault injection is per point
+    (each point's noise level and generator are its own) but batched
+    per slot: every point's replacement words are drawn from its own
+    generator in the solo order, then all points' fault sites scatter
+    in ONE ``randomize_stacked`` call per slot group.
+
+    The per-point generator consumption — class gap passes, then
+    per-slot per-group replacement-word blocks — matches a solo
+    ``NoisyRunner`` run draw for draw, and plane operations are
+    wordwise, so each point's window is **bit-identical** to running
+    the spec alone.  The three phases (fault draw, slot loop, decode)
+    each get a child span of the group span; tracing reads only the
+    clock, never the generators, so an enabled trace cannot move a
+    digest.
+    """
+    first = specs[0]
+    compiled = compile_circuit(
+        first.circuit, fuse=True, cache=policy.compile_cache
+    )
+    backend = get_backend(policy.backend)
+    prepared = backend.prepare(compiled)
+    # The plan is pure structure derived from the fused schedule, so it
+    # rides on the compiled program: a bisection or sweep re-running one
+    # circuit builds it exactly once per process.
+    plan = getattr(compiled, "_stack_plan", None)
+    if plan is None:
+        plan = _StackPlan(compiled)
+        compiled._stack_plan = plan
+    words = [words_for(spec.trials) for spec in specs]
+    offsets = [0]
+    for width in words[:-1]:
+        offsets.append(offsets[-1] + width)
+    total_words = sum(words)
+    with trace(
+        "executor.group",
+        specs=len(specs),
+        trials=sum(spec.trials for spec in specs),
+        words=total_words,
+        slots=len(compiled.slots),
+        circuit=first.circuit.name or f"{first.circuit.n_wires}-wire",
+    ):
+        states = backend.broadcast(first.input_bits, total_words * 64)
+        rngs = [_as_generator(spec.seed) for spec in specs]
+        with trace("executor.group.draw"):
+            points, faulted, points_with = _draw_phase(
+                specs, compiled, plan, words, offsets, total_words, rngs
+            )
+        with trace("executor.group.apply"):
+            _inject_phase(
+                backend, prepared, states, compiled, plan, points, points_with
+            )
+        with trace("executor.group.decode"):
+            results = _decode_phase(specs, states, words, offsets, faulted)
+    _STACKED_POINTS.inc(len(specs))
+    return results
+
+
 def _run_group(specs: Sequence[RunSpec], policy: ExecutionPolicy) -> list[PointResult]:
     """Evaluate one group in-process (also the pool's task function)."""
+    if policy.trace:
+        # Pool workers hydrate the tracer from the pickled policy so a
+        # spawned child traces too (a forked child inherits it); each
+        # worker rewrites its own `<path>.<pid>` file after every task,
+        # because pool children exit via os._exit and never run atexit.
+        enable_tracing(policy.trace)
+    _GROUPS.inc()
     engine = resolve_engine(policy.engine, specs[0].trials)
     if engine == "bitplane" and policy.fuse:
         # Lone points ride the stacked path too: it reproduces a solo
         # run bit for bit, and its cached plan, segmented fault pass,
         # and packed bookkeeping beat the classic runner even for a
         # single point.
-        return _run_group_stacked(specs, policy)
-    # The batched engine has no plane axis to stack on, and unfused
-    # execution must keep the pre-fusion per-op RNG stream — both run
-    # point by point through the classic runner.
-    return [_run_point_legacy(spec, engine, policy) for spec in specs]
+        results = _run_group_stacked(specs, policy)
+    else:
+        # The batched engine has no plane axis to stack on, and unfused
+        # execution must keep the pre-fusion per-op RNG stream — both
+        # run point by point through the classic runner.
+        _LEGACY_POINTS.inc(len(specs))
+        results = [_run_point_legacy(spec, engine, policy) for spec in specs]
+    flush_trace_if_forked()
+    return results
 
 
 class Executor:
@@ -696,6 +756,8 @@ class Executor:
 
     def __init__(self, policy: ExecutionPolicy | None = None):
         self.policy = policy if policy is not None else ExecutionPolicy.from_env()
+        if self.policy.trace:
+            enable_tracing(self.policy.trace)
 
     def run(self, specs: Sequence[RunSpec]) -> list[PointResult]:
         """Evaluate every spec; results come back in spec order."""
@@ -712,40 +774,54 @@ class Executor:
                     f"Executor.run takes RunSpec instances, got "
                     f"{type(spec).__name__}"
                 )
-        groups: dict[tuple, list[int]] = {}
-        for index, spec in enumerate(specs):
-            groups.setdefault(_group_key(spec, self.policy), []).append(index)
-        plan = list(groups.values())
-        workers = resolve_workers(self.policy.parallel, len(plan))
-        results: list[PointResult | None] = [None] * len(specs)
-        if workers == 0:
-            for indices in plan:
-                for index, result in zip(
-                    indices, _run_group([specs[i] for i in indices], self.policy)
-                ):
-                    results[index] = result
-        else:
-            task = partial(_run_group, policy=self.policy)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(task, [specs[i] for i in indices])
-                    for indices in plan
-                ]
-                for indices, future in zip(plan, futures):
-                    try:
-                        group_results = future.result()
-                    except Exception as exc:
-                        # Cancel the not-yet-started groups so the
-                        # error surfaces promptly instead of waiting
-                        # for the rest of the batch (mirrors the
-                        # harness sweep's fail-fast behaviour).
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise SimulationError(
-                            f"executor group starting at {specs[indices[0]]!r} "
-                            f"failed: {exc}"
-                        ) from exc
-                    for index, result in zip(indices, group_results):
+        _RUNS.inc()
+        _POINTS.inc(len(specs))
+        with trace("executor.run", specs=len(specs)) as span:
+            groups: dict[tuple, list[int]] = {}
+            for index, spec in enumerate(specs):
+                groups.setdefault(
+                    _group_key(spec, self.policy), []
+                ).append(index)
+            plan = list(groups.values())
+            workers = resolve_workers(self.policy.parallel, len(plan))
+            span.set(groups=len(plan), workers=workers)
+            results: list[PointResult | None] = [None] * len(specs)
+            if workers == 0:
+                for indices in plan:
+                    for index, result in zip(
+                        indices,
+                        _run_group([specs[i] for i in indices], self.policy),
+                    ):
                         results[index] = result
+            else:
+                task = partial(_run_group, policy=self.policy)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(task, [specs[i] for i in indices])
+                        for indices in plan
+                    ]
+                    for indices, future in zip(plan, futures):
+                        try:
+                            group_results = future.result()
+                        except Exception as exc:
+                            # Cancel the not-yet-started groups so the
+                            # error surfaces promptly instead of waiting
+                            # for the rest of the batch (mirrors the
+                            # harness sweep's fail-fast behaviour).
+                            # Per-future cancel, NOT shutdown(
+                            # cancel_futures=True): that path swaps the
+                            # manager thread's pending-work dict while
+                            # the queue feeder still pops from the old
+                            # one, and a task that fails to pickle
+                            # mid-flight then deadlocks the pool.
+                            for pending in futures:
+                                pending.cancel()
+                            raise SimulationError(
+                                f"executor group starting at "
+                                f"{specs[indices[0]]!r} failed: {exc}"
+                            ) from exc
+                        for index, result in zip(indices, group_results):
+                            results[index] = result
         return results  # type: ignore[return-value]
 
     def run_one(self, spec: RunSpec) -> PointResult:

@@ -9,10 +9,12 @@ failure predicate".  This module gives that shape a value type:
   an :class:`~repro.runtime.executor.Executor` is handed a batch of
   them.
 * :class:`ExecutionPolicy` — *how* specs run (engine, worker pool,
-  fusion, compile cache, default trial budget), hydrated once from the
-  environment by :meth:`ExecutionPolicy.from_env`.  This is the single
-  home of every ``REPRO_*`` execution knob; nothing else in the
-  library reads them mid-run.
+  fusion, compile cache, default trial budget, trace sink), hydrated
+  once from the environment by :meth:`ExecutionPolicy.from_env`.  This
+  is the single home of every ``REPRO_*`` execution knob; nothing else
+  in the library reads them mid-run.  (The observability layer
+  additionally reads its own ``REPRO_TRACE``/``REPRO_OBS_SAMPLE`` once
+  at import so bare CLI runs trace too — see :mod:`repro.obs`.)
 * :class:`PointResult` — one point's outcome: failure count, trial
   count, fault statistics, and the engine that produced them.
 * Observables — the failure predicate half of a spec.  Anything with a
@@ -265,6 +267,12 @@ class ExecutionPolicy:
             bitplane slots (``REPRO_BACKEND``; see
             :mod:`repro.backends`).  Backends are bit-identical, so
             this — like ``parallel`` — can never change a result.
+        trace: span-trace sink — a file path, ``"stderr"`` or
+            ``"stdout"`` — or ``None`` for no tracing
+            (``REPRO_TRACE``; see :mod:`repro.obs`).  Tracing is
+            observational only and can never change a result; pooled
+            workers inherit the sink through the pickled policy and
+            flush ``<path>.<pid>``.
 
     Unknown engine or backend names raise
     :class:`~repro.errors.ConfigError` (a ``SimulationError``
@@ -278,6 +286,7 @@ class ExecutionPolicy:
     compile_cache: bool = True
     trials: int = DEFAULT_TRIALS
     backend: str = DEFAULT_BACKEND
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -341,6 +350,8 @@ class ExecutionPolicy:
                 raise ConfigError(
                     f"REPRO_TRIALS={env['REPRO_TRIALS']!r} is not an integer"
                 ) from exc
+        if "REPRO_TRACE" in env:
+            updates["trace"] = env["REPRO_TRACE"] or None
         return replace(policy, **updates) if updates else policy
 
 

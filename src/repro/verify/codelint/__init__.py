@@ -1,6 +1,6 @@
 """Codebase lint passes — the ``RL###`` half of :mod:`repro.verify`.
 
-Four AST/text passes over the repository, run through the unified
+Five AST/text passes over the repository, run through the unified
 driver ``python -m tools.lint`` (which owns the CLI and the exit-code
 contract):
 
@@ -12,7 +12,9 @@ contract):
 * :mod:`~repro.verify.codelint.errors_pass` — typed-exception
   discipline and assert hygiene (``RL300``–``RL301``);
 * :mod:`~repro.verify.codelint.deprecation` — the deprecation audit
-  folded in from ``tools/deprecation_audit.py`` (``RL400``).
+  folded in from ``tools/deprecation_audit.py`` (``RL400``);
+* :mod:`~repro.verify.codelint.timing` — raw ``time.*`` calls outside
+  the ``repro.obs`` clock front door (``RL500``).
 
 All policy data (layer table, allowlists, key-function set) lives in
 :mod:`~repro.verify.codelint.config`.
@@ -25,7 +27,13 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import VerificationError
-from repro.verify.codelint import deprecation, errors_pass, layering, rng
+from repro.verify.codelint import (
+    deprecation,
+    errors_pass,
+    layering,
+    rng,
+    timing,
+)
 from repro.verify.diagnostics import DiagnosticReport
 
 __all__ = [
@@ -80,6 +88,7 @@ PASSES: dict[str, tuple[tuple[str, ...], object]] = {
     "layering": (("RL200", "RL201", "RL202"), layering.run),
     "errors": (("RL300", "RL301"), errors_pass.run),
     "deprecation": (("RL400",), deprecation.run),
+    "timing": (("RL500",), timing.run),
 }
 
 

@@ -28,6 +28,7 @@ from repro.verify.codelint.config import (
     KEY_FUNCTIONS,
     RNG_ALLOWED_FILES,
     RNG_OWNING_PREFIX,
+    TIMING_OWNING_PREFIX,
 )
 from repro.verify.diagnostics import DiagnosticReport
 
@@ -66,11 +67,16 @@ def _resolve_call_path(func: ast.expr, aliases: dict[str, str]) -> str | None:
     return ".".join(reversed(parts))
 
 
-def _is_impure(path: str) -> bool:
+def _impure_prefix(path: str) -> str | None:
     for prefix in IMPURE_CALL_PREFIXES:
         if path == prefix or path.startswith(prefix + "."):
-            return True
-    return False
+            return prefix
+    return None
+
+
+#: Prefixes the clock-owning ``repro.obs`` layer may call; randomness
+#: stays forbidden there (observation must never feed the RNG).
+_CLOCK_PREFIXES = ("time", "datetime")
 
 
 def _check_purity(source, report: DiagnosticReport) -> None:
@@ -78,18 +84,25 @@ def _check_purity(source, report: DiagnosticReport) -> None:
         return
     if source.relpath in RNG_ALLOWED_FILES:
         return
+    owns_clock = source.relpath.startswith(TIMING_OWNING_PREFIX)
     aliases = _import_aliases(source.tree)
     for node in ast.walk(source.tree):
         if not isinstance(node, ast.Call):
             continue
         path = _resolve_call_path(node.func, aliases)
-        if path is not None and _is_impure(path):
-            report.error(
-                "RL100",
-                f"{source.relpath}:{node.lineno}",
-                f"call to {path}() outside the noise layer — route "
-                f"randomness/clock reads through repro.noise",
-            )
+        if path is None:
+            continue
+        prefix = _impure_prefix(path)
+        if prefix is None:
+            continue
+        if owns_clock and prefix in _CLOCK_PREFIXES:
+            continue
+        report.error(
+            "RL100",
+            f"{source.relpath}:{node.lineno}",
+            f"call to {path}() outside the noise layer — route "
+            f"randomness/clock reads through repro.noise",
+        )
 
 
 def _iteration_sites(function: ast.FunctionDef):

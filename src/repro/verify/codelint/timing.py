@@ -1,0 +1,49 @@
+"""The one-clock lint: ``RL500`` keeps timing behind ``repro.obs``.
+
+``RL100`` already bans wall-clock reads outside the noise layer as a
+*purity* hazard, but it exempts the noise layer itself — and a stray
+``time.perf_counter()`` inside an engine would be invisible to it.
+``RL500`` is the complementary *routing* rule: anywhere in
+``src/repro`` outside :data:`TIMING_OWNING_PREFIX` (the ``repro.obs``
+package), any call into the ``time`` module is a finding — elapsed
+time flows through ``repro.obs`` (``trace``/``stopwatch``/``clock_ns``)
+so every clock read is observable, sampled, and provably kept away
+from results and keys.
+
+Calls are resolved through import aliases exactly like ``RL100``
+(``from time import perf_counter`` cannot dodge the lint by losing the
+module prefix).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.verify.codelint.config import TIMING_OWNING_PREFIX
+from repro.verify.codelint.rng import _import_aliases, _resolve_call_path
+from repro.verify.diagnostics import DiagnosticReport
+
+__all__ = ["run"]
+
+
+def run(root, files, report: DiagnosticReport) -> None:
+    """The RL500 pass: raw ``time.*`` calls outside ``repro.obs``."""
+    for source in files:
+        if source.tree is None:
+            continue
+        if source.relpath.startswith(TIMING_OWNING_PREFIX):
+            continue
+        aliases = _import_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _resolve_call_path(node.func, aliases)
+            if path is None:
+                continue
+            if path == "time" or path.startswith("time."):
+                report.error(
+                    "RL500",
+                    f"{source.relpath}:{node.lineno}",
+                    f"call to {path}() outside repro.obs — time code "
+                    f"through repro.obs (trace/stopwatch/clock_ns)",
+                )

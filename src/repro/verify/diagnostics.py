@@ -98,6 +98,8 @@ CODES: dict[str, str] = {
     "RL301": "assert used for validation (only is-not-None narrowing allowed)",
     # --- Lints: deprecation audit -------------------------------------
     "RL400": "reference to a deprecated entry point",
+    # --- Lints: timing front door -------------------------------------
+    "RL500": "raw time.* call outside the repro.obs clock front door",
 }
 
 

@@ -73,3 +73,51 @@ class TestCliLifecycle:
         )
         assert rc == 2
         assert "different sweep" in capsys.readouterr().err
+
+
+class TestVerboseStatus:
+    def test_verbose_shard_table_and_hit_ratio(
+        self, tmp_path, jobs_cli, capsys
+    ):
+        job_dir = str(tmp_path / "job")
+        assert jobs_cli.main(["submit", job_dir, *SWEEP, "--verbose"]) == 0
+        captured = capsys.readouterr()
+        # The submit heartbeat goes to stderr, one line per shard.
+        assert captured.err.count("shard ") == 2
+
+        assert jobs_cli.main(["status", job_dir, "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "store hit ratio: 0/4 (0.0%)" in out
+        assert out.count("done") == 2
+
+    def test_verbose_is_observational_only(self, tmp_path, jobs_cli, capsys):
+        # Exit contract unchanged: incomplete job still exits 3 under
+        # --verbose, and pending shards render without stats.
+        job_dir = str(tmp_path / "job")
+        assert (
+            jobs_cli.main(["submit", job_dir, *SWEEP, "--max-shards", "1"])
+            == 0
+        )
+        capsys.readouterr()
+        assert jobs_cli.main(["status", job_dir, "--verbose"]) == 3
+        out = capsys.readouterr().out
+        assert "pending" in out
+
+    def test_old_checkpoints_without_stats_render(
+        self, tmp_path, jobs_cli, capsys
+    ):
+        # Strip the stats block (simulating a pre-obs checkpoint);
+        # verbose status must degrade to dashes, not crash.
+        import json
+
+        job_dir = tmp_path / "job"
+        assert jobs_cli.main(["submit", str(job_dir), *SWEEP]) == 0
+        capsys.readouterr()
+        for checkpoint in (job_dir / "shards").glob("*.json"):
+            data = json.loads(checkpoint.read_text())
+            data.pop("stats", None)
+            checkpoint.write_text(json.dumps(data))
+        assert jobs_cli.main(["status", str(job_dir), "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "-" in out
+        assert "store hit ratio" not in out

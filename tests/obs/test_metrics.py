@@ -1,0 +1,104 @@
+"""The metrics registry: kinds, names, reset semantics, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    counter,
+    gauge,
+    histogram,
+    metrics_snapshot,
+    reset_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+class TestCounter:
+    def test_increments(self):
+        c = counter("test.counter.basic")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_instrument(self):
+        assert counter("test.counter.shared") is counter("test.counter.shared")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigError):
+            counter("test.counter.neg").inc(-1)
+
+
+class TestGauge:
+    def test_set(self):
+        g = gauge("test.gauge.basic")
+        g.set(7)
+        assert g.value == 7
+        g.set(3)
+        assert g.value == 3
+
+    def test_inc_and_dec(self):
+        g = gauge("test.gauge.move")
+        g.inc(2)
+        g.inc(-3)
+        assert g.value == -1
+
+
+class TestHistogram:
+    def test_observes(self):
+        h = histogram("test.hist.basic")
+        for value in (1, 2, 3):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 6
+        assert h.min == 1
+        assert h.max == 3
+
+    def test_empty_snapshot_shape(self):
+        histogram("test.hist.empty")
+        stats = metrics_snapshot()["histograms"]["test.hist.empty"]
+        assert stats["count"] == 0
+        assert stats["mean"] is None
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "bad", ["", "nodots", "Upper.case", "trailing.", ".leading", "a b.c"]
+    )
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            counter(bad)
+
+    def test_kind_collision_rejected(self):
+        counter("test.kind.clash")
+        with pytest.raises(ConfigError):
+            gauge("test.kind.clash")
+
+
+class TestResetAndSnapshot:
+    def test_reset_zeroes_in_place(self):
+        # Module-level instrument references must stay valid across
+        # reset — reset zeroes, it never replaces.
+        c = counter("test.reset.inplace")
+        c.inc(9)
+        reset_metrics()
+        assert c.value == 0
+        c.inc()
+        assert counter("test.reset.inplace").value == 1
+
+    def test_snapshot_sections_sorted(self):
+        counter("test.snap.b").inc()
+        counter("test.snap.a").inc()
+        gauge("test.snap.g").set(1)
+        snapshot = metrics_snapshot()
+        names = [n for n in snapshot["counters"] if n.startswith("test.snap.")]
+        assert names == sorted(names)
+        assert snapshot["gauges"]["test.snap.g"] == 1

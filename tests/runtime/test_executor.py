@@ -342,6 +342,44 @@ class TestPoolAcrossGroups:
         with pytest.raises(SimulationError, match="left|right"):
             Executor(ExecutionPolicy(parallel=2)).run(specs)
 
+    def test_failed_pooled_run_tears_the_pool_down(self):
+        # Regression: the fail-fast error path used
+        # shutdown(cancel_futures=True), which swaps the pool manager
+        # thread's pending-work dict while the queue feeder still pops
+        # from the old one; a task that fails to pickle mid-flight
+        # (like the test-local observable above) then leaves the
+        # manager thread waiting forever, and the orphan deadlocks
+        # interpreter exit.  After the error surfaces, every pool
+        # thread must be joined.
+        import concurrent.futures.process as cfp
+
+        class Boom:
+            def count_failures(self, states):
+                raise ValueError("observable exploded")
+
+        specs = [
+            RunSpec(
+                circuit=Circuit(2, name="left").cnot(0, 1),
+                input_bits=(1, 0),
+                observable=Boom(),
+                noise=NoiseModel(gate_error=0.0),
+                trials=300,
+                seed=1,
+            ),
+            RunSpec(
+                circuit=Circuit(2, name="right").cnot(1, 0),
+                input_bits=(1, 0),
+                observable=Boom(),
+                noise=NoiseModel(gate_error=0.0),
+                trials=300,
+                seed=2,
+            ),
+        ]
+        with pytest.raises(SimulationError):
+            Executor(ExecutionPolicy(parallel=2)).run(specs)
+        lingering = [t for t in cfp._threads_wakeups if t.is_alive()]
+        assert lingering == []
+
 
 class TestExecutorSurface:
     def test_empty_run(self):

@@ -222,3 +222,43 @@ class TestDeprecation:
         assert report.has("RL400")
         [finding] = report.errors
         assert finding.location == "examples/old_api.py:1"
+
+
+class TestTimingFrontDoor:
+    def test_raw_time_call_is_rl500(self, tmp_path):
+        plant(
+            tmp_path,
+            "src/repro/core/slowpoke.py",
+            "import time\nstarted = time.perf_counter()\n",
+        )
+        assert lint(tmp_path, "timing").has("RL500")
+
+    def test_from_import_alias_is_rl500(self, tmp_path):
+        # Losing the module prefix must not dodge the lint.
+        plant(
+            tmp_path,
+            "src/repro/runtime/sneaky.py",
+            "from time import perf_counter as pc\nstarted = pc()\n",
+        )
+        assert lint(tmp_path, "timing").has("RL500")
+
+    def test_obs_owns_the_clock(self, tmp_path):
+        # repro.obs is the clock front door: raw time calls are its
+        # job, for both the routing rule (RL500) and purity (RL100).
+        plant(
+            tmp_path,
+            "src/repro/obs/clocky.py",
+            "import time\nstamp = time.perf_counter_ns()\n",
+        )
+        assert lint(tmp_path, "timing").ok
+        assert lint(tmp_path, "rng").ok
+
+    def test_obs_may_not_touch_rng(self, tmp_path):
+        # The clock carve-out is clock-only: RNG use in the
+        # observability layer is still an RL100 purity finding.
+        plant(
+            tmp_path,
+            "src/repro/obs/dicey.py",
+            "import numpy as np\nroll = np.random.default_rng()\n",
+        )
+        assert lint(tmp_path, "rng").has("RL100")

@@ -3,8 +3,14 @@
 Three subcommands over a job directory::
 
     python tools/jobs.py submit  JOB_DIR [sweep options]   # create + run
-    python tools/jobs.py status  JOB_DIR                   # progress
+    python tools/jobs.py status  JOB_DIR [--verbose]       # progress
     python tools/jobs.py collect JOB_DIR [--check-serial]  # merged table
+
+``status --verbose`` adds a per-shard table (points, elapsed seconds,
+simulated vs store-served split, read from each checkpoint's optional
+stats block) and the job's overall store hit ratio; the exit contract
+(0 complete, 3 pending) is unchanged.  ``submit --verbose`` prints a
+per-shard heartbeat to stderr as shards finish.
 
 ``submit`` builds a Figure-2-style cycle-error sweep — a geometric
 grid of gate-error points (:func:`repro.harness.sweep.geometric_grid`)
@@ -64,8 +70,18 @@ def cmd_submit(arguments: argparse.Namespace) -> int:
     print(f"job {job.job_id}: {len(specs)} points in {len(job.shards)} shards")
     if arguments.no_run:
         return 0
+
+    def heartbeat(done, pending_total, shard_id, elapsed_s):
+        print(
+            f"  shard {shard_id} done ({done}/{pending_total} pending, "
+            f"{elapsed_s:.2f}s)",
+            file=sys.stderr,
+        )
+
     report = job.run(
-        workers=arguments.workers, max_shards=arguments.max_shards
+        workers=arguments.workers,
+        max_shards=arguments.max_shards,
+        on_progress=heartbeat if arguments.verbose else None,
     )
     print(
         f"ran {report.shards_run} shards ({report.shards_skipped} already "
@@ -81,6 +97,31 @@ def cmd_status(arguments: argparse.Namespace) -> int:
     job = SweepJob.load(arguments.job_dir)
     status = job.status()
     print(status)
+    if arguments.verbose:
+        simulated = 0
+        cached = 0
+        print(f"{'shard':>16} {'points':>7} {'state':>8} {'elapsed':>9} {'sim':>5} {'hit':>5}")
+        for row in job.shard_stats():
+            state = "done" if row["done"] else "pending"
+            elapsed = (
+                f"{row['elapsed_s']:.2f}s"
+                if row["elapsed_s"] is not None
+                else "-"
+            )
+            sim = "-" if row["simulated"] is None else str(row["simulated"])
+            hit = "-" if row["cached"] is None else str(row["cached"])
+            print(
+                f"{row['shard_id']:>16} {row['points']:>7} {state:>8} "
+                f"{elapsed:>9} {sim:>5} {hit:>5}"
+            )
+            simulated += row["simulated"] or 0
+            cached += row["cached"] or 0
+        total = simulated + cached
+        if total:
+            print(
+                f"store hit ratio: {cached}/{total} "
+                f"({100.0 * cached / total:.1f}%)"
+            )
     return 0 if status.complete else 3
 
 
@@ -159,10 +200,21 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--no-run", action="store_true", help="plan and write the manifest only"
     )
+    submit.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print a per-shard heartbeat to stderr while running",
+    )
     submit.set_defaults(func=cmd_submit)
 
     status = commands.add_parser("status", help="print job progress")
     status.add_argument("job_dir", type=Path)
+    status.add_argument(
+        "--verbose",
+        action="store_true",
+        help="per-shard table (elapsed, simulated/cached split) plus the "
+        "store hit ratio",
+    )
     status.set_defaults(func=cmd_status)
 
     collect = commands.add_parser(
